@@ -1,0 +1,79 @@
+// Command dsmrun executes one application/protocol/block-size
+// configuration on the simulated DSM machine and prints the paper-style
+// execution-time breakdown plus protocol counters.
+//
+// Usage:
+//
+//	dsmrun -app adaptive|barnes|water [-protocol stache|predictive|update]
+//	       [-nodes N] [-block B] [-spmd] [-splash] [-size N] [-iters N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"presto/internal/apps/adaptive"
+	"presto/internal/apps/barnes"
+	"presto/internal/apps/water"
+	"presto/internal/rt"
+)
+
+func main() {
+	app := flag.String("app", "", "application: adaptive, barnes or water")
+	protocol := flag.String("protocol", "stache", "coherence protocol")
+	nodes := flag.Int("nodes", 32, "simulated node count")
+	block := flag.Int("block", 32, "cache block size in bytes")
+	size := flag.Int("size", 0, "problem size (mesh edge / bodies / molecules); 0 = paper size")
+	iters := flag.Int("iters", 0, "iterations; 0 = paper count")
+	spmd := flag.Bool("spmd", false, "barnes: hand-optimized SPMD baseline (use -protocol update)")
+	splash := flag.Bool("splash", false, "water: Splash-2 shared-memory variant")
+	flag.Parse()
+
+	mc := rt.Config{Nodes: *nodes, BlockSize: *block, Protocol: rt.ProtocolKind(*protocol)}
+	var b rt.Breakdown
+	var c rt.Counters
+	var extra string
+	var err error
+	switch *app {
+	case "adaptive":
+		var r *adaptive.Result
+		r, err = adaptive.Run(adaptive.Config{Machine: mc, Size: *size, Iters: *iters})
+		if err == nil {
+			b, c = r.Breakdown, r.Counters
+			extra = fmt.Sprintf("refined cells: %d, checksum %.4f", r.Refined, r.Checksum)
+		}
+	case "barnes":
+		var r *barnes.Result
+		r, err = barnes.Run(barnes.Config{Machine: mc, Bodies: *size, Iters: *iters, SPMD: *spmd})
+		if err == nil {
+			b, c = r.Breakdown, r.Counters
+			extra = fmt.Sprintf("tree cells: %d, checksum %.4f", r.Cells, r.Checksum)
+		}
+	case "water":
+		var r *water.Result
+		r, err = water.Run(water.Config{Machine: mc, Molecules: *size, Steps: *iters, Splash: *splash})
+		if err == nil {
+			b, c = r.Breakdown, r.Counters
+			extra = fmt.Sprintf("energy checksum %.4f", r.Energy)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "dsmrun: -app must be adaptive, barnes or water")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dsmrun:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s on %d nodes, %dB blocks, %s protocol\n", *app, *nodes, *block, *protocol)
+	fmt.Printf("  execution time    %v\n", b.Elapsed)
+	fmt.Printf("  remote-data wait  %v\n", b.RemoteWait)
+	fmt.Printf("  pre-send          %v\n", b.Presend)
+	fmt.Printf("  compute+synch     %v (compute %v, synch %v)\n", b.ComputeSynch(), b.Compute, b.Sync)
+	fmt.Printf("  faults            %d read, %d write\n", c.ReadFaults, c.WriteFaults)
+	fmt.Printf("  messages          %d (%.2f MB)\n", c.MsgsSent, float64(c.BytesSent)/1e6)
+	fmt.Printf("  pre-sends         %d blocks (%d bulk messages, %d skipped, %d conflicts)\n",
+		c.PresendsSent, c.BulkMsgs, c.PresendsSkipped, c.Conflicts)
+	fmt.Printf("  %s\n", extra)
+}

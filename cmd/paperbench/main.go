@@ -1,0 +1,69 @@
+// Command paperbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	paperbench [-experiment all|table1|figure4|figure5|figure6|figure7|sweep|ablate-*]
+//	           [-scale quick|paper] [-csv out.csv]
+//
+// -scale paper runs the Table 1 workload sizes on 32 simulated nodes
+// (minutes of wall clock); -scale quick (default) runs CI-sized versions
+// of the same experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"presto/internal/harness"
+)
+
+func main() {
+	expID := flag.String("experiment", "all", "experiment ID or 'all'")
+	scaleStr := flag.String("scale", "quick", "workload scale: quick or paper")
+	csvPath := flag.String("csv", "", "also write rows as CSV to this file")
+	flag.Parse()
+
+	scale := harness.ParseScale(*scaleStr)
+	var exps []harness.Experiment
+	if *expID == "all" {
+		exps = harness.All()
+	} else {
+		e, ok := harness.ByID(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available:\n", *expID)
+			for _, e := range harness.All() {
+				fmt.Fprintf(os.Stderr, "  %-16s %s\n", e.ID, e.Title)
+			}
+			os.Exit(2)
+		}
+		exps = []harness.Experiment{e}
+	}
+
+	var csv *os.File
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csv = f
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		res, err := e.Run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("paper claim: %s\n", e.Paper)
+		res.Render(os.Stdout)
+		if csv != nil {
+			res.CSV(csv)
+		}
+		fmt.Printf("(%s finished in %v at %s scale)\n\n", e.ID, time.Since(start).Round(time.Millisecond), *scaleStr)
+	}
+}

@@ -1,0 +1,54 @@
+// Adaptive example: the paper's structured adaptive mesh benchmark (§5.1)
+// at a laptop-friendly scale — a 64x64 mesh on 16 simulated nodes —
+// comparing the unoptimized (Stache) and optimized (predictive) versions
+// at two cache-block sizes, like Figure 5.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"presto"
+)
+
+func main() {
+	fmt.Println("Adaptive mesh relaxation (64x64, 40 iterations, 16 nodes)")
+	fmt.Printf("%-18s %10s %12s %10s %14s %9s %8s\n",
+		"version", "total", "remote-wait", "pre-send", "compute+synch", "refined", "faults")
+
+	var base *presto.AdaptiveResult
+	for _, v := range []struct {
+		label string
+		proto presto.Config
+	}{
+		{"unopt (32B)", presto.Config{Nodes: 16, BlockSize: 32, Protocol: presto.Stache}},
+		{"opt   (32B)", presto.Config{Nodes: 16, BlockSize: 32, Protocol: presto.Predictive}},
+		{"unopt (256B)", presto.Config{Nodes: 16, BlockSize: 256, Protocol: presto.Stache}},
+		{"opt   (256B)", presto.Config{Nodes: 16, BlockSize: 256, Protocol: presto.Predictive}},
+	} {
+		r, err := presto.RunAdaptive(presto.AdaptiveConfig{
+			Machine: v.proto, Size: 64, Iters: 40, RefineEvery: 4,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		b := r.Breakdown
+		fmt.Printf("%-18s %10v %12v %10v %14v %9d %8d\n",
+			v.label, b.Elapsed, b.RemoteWait, b.Presend, b.ComputeSynch(),
+			r.Refined, r.Counters.ReadFaults+r.Counters.WriteFaults)
+		if base == nil {
+			base = r
+		} else if r.Checksum != base.Checksum {
+			log.Fatalf("checksum mismatch: %v vs %v", r.Checksum, base.Checksum)
+		}
+		if vs := presto.CheckCoherence(r.Machine); len(vs) > 0 {
+			log.Fatalf("coherence violations: %v", vs)
+		}
+	}
+	fmt.Println("\nAll versions computed identical results; coherence invariants hold.")
+	fmt.Println("The refined region grows as the solution front advances; the")
+	fmt.Println("predictive protocol learns each new quad-tree block after one fault")
+	fmt.Println("and pre-sends it in later sweeps (incremental schedules, paper §3.3).")
+}

@@ -1,0 +1,53 @@
+// Barnes example: the paper's gravitational N-body benchmark (§5.2) at
+// reduced scale — 2048 bodies, 3 time steps on 16 nodes — reproducing the
+// Figure 6 comparison including the block-size crossover: the predictive
+// protocol wins at small blocks, while Barnes's spatial locality lets the
+// unoptimized version catch up at 1024-byte blocks.
+//
+//	go run ./examples/barnes
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"presto"
+)
+
+func main() {
+	fmt.Println("Barnes-Hut (2048 bodies, 3 steps, 16 nodes)")
+	fmt.Printf("%-24s %10s %12s %10s %14s %8s\n",
+		"version", "total", "remote-wait", "pre-send", "compute+synch", "faults")
+
+	run := func(label string, cfg presto.BarnesConfig) *presto.BarnesResult {
+		r, err := presto.RunBarnes(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b := r.Breakdown
+		fmt.Printf("%-24s %10v %12v %10v %14v %8d\n",
+			label, b.Elapsed, b.RemoteWait, b.Presend, b.ComputeSynch(),
+			r.Counters.ReadFaults+r.Counters.WriteFaults)
+		return r
+	}
+
+	mk := func(proto presto.Config, spmd bool) presto.BarnesConfig {
+		return presto.BarnesConfig{Machine: proto, Bodies: 2048, Iters: 3, SPMD: spmd}
+	}
+	u32 := run("C** unopt (32B)", mk(presto.Config{Nodes: 16, BlockSize: 32, Protocol: presto.Stache}, false))
+	o32 := run("C** opt (32B)", mk(presto.Config{Nodes: 16, BlockSize: 32, Protocol: presto.Predictive}, false))
+	u1k := run("C** unopt (1024B)", mk(presto.Config{Nodes: 16, BlockSize: 1024, Protocol: presto.Stache}, false))
+	o1k := run("C** opt (1024B)", mk(presto.Config{Nodes: 16, BlockSize: 1024, Protocol: presto.Predictive}, false))
+	spmd := run("SPMD write-update (1024B)", mk(presto.Config{Nodes: 16, BlockSize: 1024, Protocol: presto.Update}, true))
+
+	if u32.Checksum != o32.Checksum || u32.Checksum != u1k.Checksum || u32.Checksum != o1k.Checksum {
+		log.Fatal("write-invalidate versions disagree")
+	}
+	_ = spmd // the update protocol trades strict consistency for speed
+
+	fmt.Println("\nAt 32B blocks the pre-send eliminates most force-phase read faults;")
+	fmt.Println("at 1024B one fetched block carries ~10 neighboring tree cells, so the")
+	fmt.Println("unoptimized version nearly closes the gap (the paper's Figure 6 story).")
+	fmt.Printf("crossover: unopt(1024) vs opt(32) speedup = %.2fx\n",
+		float64(o32.Breakdown.Elapsed)/float64(u1k.Breakdown.Elapsed))
+}

@@ -1,0 +1,57 @@
+// Unstructured example: the paper's Figure-3-style irregular bipartite
+// mesh, comparing the predictive protocol against the related work the
+// paper positions itself against (§2): a CHAOS-style Inspector-Executor.
+// The mesh is run twice — static, and adapting a few percent of its edges
+// every third iteration (the paper's "incremental changes between
+// iterations are small" scenario).
+//
+//	go run ./examples/unstructured
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"presto"
+)
+
+func main() {
+	base := presto.UnstructuredConfig{
+		Machine: presto.Config{Nodes: 16, BlockSize: 32},
+		Primal:  1024, Dual: 1024, Edges: 6, Iters: 12,
+	}
+	for _, mesh := range []struct {
+		label string
+		adapt int
+	}{{"static mesh", 0}, {"adaptive mesh (3% churn / 3 iters)", 3}} {
+		fmt.Printf("%s\n", mesh.label)
+		fmt.Printf("  %-22s %10s %12s %10s %14s %12s\n",
+			"strategy", "total", "remote-wait", "pre-send", "compute+synch", "inspections")
+		var ref float64
+		for _, s := range []presto.UnstructuredConfig{
+			{Strategy: presto.PlainStrategy},
+			{Strategy: presto.PredictiveStrategy},
+			{Strategy: presto.InspectorStrategy},
+		} {
+			cfg := base
+			cfg.Strategy = s.Strategy
+			cfg.AdaptEvery = mesh.adapt
+			r, err := presto.RunUnstructured(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			b := r.Breakdown
+			fmt.Printf("  %-22s %10v %12v %10v %14v %12d\n",
+				s.Strategy, b.Elapsed, b.RemoteWait, b.Presend, b.ComputeSynch(), r.Inspections)
+			if ref == 0 {
+				ref = r.Checksum
+			} else if r.Checksum != ref {
+				log.Fatalf("strategies disagree: %v vs %v", r.Checksum, ref)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("All strategies compute identical results. The predictive protocol")
+	fmt.Println("matches the inspector-executor without any inspector/executor code,")
+	fmt.Println("and absorbs mesh adaptation through incremental schedules (paper §2).")
+}

@@ -1,0 +1,56 @@
+// Water example: the paper's molecular-dynamics benchmark (§5.3) at
+// reduced scale — 256 molecules, 10 steps on 16 nodes — reproducing the
+// Figure 7 three-way comparison: the data-parallel version with and
+// without the predictive protocol, plus a Splash-2-style shared-memory
+// variant that accumulates reaction forces under per-molecule locks.
+//
+//	go run ./examples/water
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"presto"
+)
+
+func main() {
+	fmt.Println("Water n-squared (256 molecules, 10 steps, 16 nodes, best block size per version)")
+	fmt.Printf("%-18s %10s %12s %10s %14s\n",
+		"version", "total", "remote-wait", "pre-send", "compute+synch")
+
+	best := func(label string, proto presto.Config, splash bool) *presto.WaterResult {
+		var bestR *presto.WaterResult
+		bestBS := 0
+		for _, bs := range []int{32, 128, 256} {
+			cfg := presto.WaterConfig{Machine: proto, Molecules: 256, Steps: 10, Splash: splash}
+			cfg.Machine.BlockSize = bs
+			r, err := presto.RunWater(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if bestR == nil || r.Breakdown.Elapsed < bestR.Breakdown.Elapsed {
+				bestR, bestBS = r, bs
+			}
+		}
+		b := bestR.Breakdown
+		fmt.Printf("%-18s %10v %12v %10v %14v\n",
+			fmt.Sprintf("%s (%dB)", label, bestBS), b.Elapsed, b.RemoteWait, b.Presend, b.ComputeSynch())
+		return bestR
+	}
+
+	opt := best("C** opt", presto.Config{Nodes: 16, Protocol: presto.Predictive}, false)
+	unopt := best("C** unopt", presto.Config{Nodes: 16, Protocol: presto.Stache}, false)
+	splash := best("Splash", presto.Config{Nodes: 16, Protocol: presto.Stache}, true)
+
+	if opt.Energy != unopt.Energy || opt.Energy != splash.Energy {
+		log.Fatal("versions disagree on the energy checksum")
+	}
+	fmt.Printf("\nall versions agree (energy %.4f)\n", opt.Energy)
+	fmt.Printf("opt vs unopt: %.2fx (paper: 1.05x); opt vs Splash: %.2fx (paper: 1.2x)\n",
+		float64(unopt.Breakdown.Elapsed)/float64(opt.Breakdown.Elapsed),
+		float64(splash.Breakdown.Elapsed)/float64(opt.Breakdown.Elapsed))
+	fmt.Println("\nThe position pattern is static, so the schedule is complete after one")
+	fmt.Println("step — but Water is compute-dominated, so the end-to-end win is small,")
+	fmt.Println("exactly the paper's observation.")
+}

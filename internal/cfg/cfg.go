@@ -1,0 +1,236 @@
+// Package cfg builds the statement-level control-flow graph of a cstar
+// program's sequential portion (main), the structure over which the
+// compiler runs its reaching-unstructured-accesses analysis and places
+// runtime phase directives (paper §4.3, Figure 4). As in the paper, the
+// sequential portion is restricted to main — the compiler performs no
+// inter-procedural analysis.
+package cfg
+
+import (
+	"fmt"
+	"strings"
+
+	"presto/internal/lang"
+)
+
+// Node is one CFG node. Entry/Exit/Join nodes carry no statement.
+type Node struct {
+	ID    int
+	Stmt  lang.Stmt // nil for entry/exit/join
+	Label string
+
+	// Call is set when Stmt is a call to a parallel function.
+	Call *CallSite
+
+	// Loop is set on loop-head nodes (the ForStmt's condition check).
+	Loop *LoopInfo
+
+	Succs []int
+	Preds []int
+}
+
+// LoopInfo describes a for-loop head.
+type LoopInfo struct {
+	Head    int   // the loop-head node
+	BodyIDs []int // all nodes belonging to the loop body (inclusive of nested)
+	PreID   int   // preheader node (directive hoist target)
+}
+
+// CallSite is a parallel-function invocation in main.
+type CallSite struct {
+	NodeID int
+	Func   string
+	// Args holds the aggregate variable names passed at each parameter
+	// position ("" for non-aggregate arguments).
+	Args []string
+}
+
+// Graph is main's control-flow graph.
+type Graph struct {
+	Nodes []*Node
+	Entry int
+	Exit  int
+	Calls []*CallSite
+	Loops []*LoopInfo
+}
+
+func (g *Graph) newNode(label string, stmt lang.Stmt) *Node {
+	n := &Node{ID: len(g.Nodes), Stmt: stmt, Label: label}
+	g.Nodes = append(g.Nodes, n)
+	return n
+}
+
+func (g *Graph) edge(from, to int) {
+	g.Nodes[from].Succs = append(g.Nodes[from].Succs, to)
+	g.Nodes[to].Preds = append(g.Nodes[to].Preds, from)
+}
+
+// Build constructs the CFG of a sequential function (normally main).
+// parallelFuncs names the program's parallel functions so call sites can
+// be identified.
+func Build(f *lang.FuncDecl, prog *lang.Program) (*Graph, error) {
+	if f.Parallel {
+		return nil, fmt.Errorf("cfg: %s is a parallel function", f.Name)
+	}
+	g := &Graph{}
+	entry := g.newNode("entry", nil)
+	g.Entry = entry.ID
+	frontier, err := g.buildBlock(f.Body, []int{entry.ID}, prog, nil)
+	if err != nil {
+		return nil, err
+	}
+	exit := g.newNode("exit", nil)
+	g.Exit = exit.ID
+	for _, p := range frontier {
+		g.edge(p, exit.ID)
+	}
+	return g, nil
+}
+
+// buildBlock threads the statements of blk after preds and returns the new
+// frontier. curLoop collects body nodes for the innermost enclosing loop.
+func (g *Graph) buildBlock(blk *lang.Block, preds []int, prog *lang.Program, curLoop *LoopInfo) ([]int, error) {
+	for _, s := range blk.Stmts {
+		var err error
+		preds, err = g.buildStmt(s, preds, prog, curLoop)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return preds, nil
+}
+
+func (g *Graph) buildStmt(s lang.Stmt, preds []int, prog *lang.Program, curLoop *LoopInfo) ([]int, error) {
+	attach := func(n *Node) {
+		for _, p := range preds {
+			g.edge(p, n.ID)
+		}
+		if curLoop != nil {
+			curLoop.BodyIDs = append(curLoop.BodyIDs, n.ID)
+		}
+	}
+	switch v := s.(type) {
+	case *lang.IfStmt:
+		cond := g.newNode("if "+lang.ExprString(v.Cond), s)
+		attach(cond)
+		thenF, err := g.buildBlock(v.Then, []int{cond.ID}, prog, curLoop)
+		if err != nil {
+			return nil, err
+		}
+		elseF := []int{cond.ID}
+		if v.Else != nil {
+			elseF, err = g.buildBlock(v.Else, []int{cond.ID}, prog, curLoop)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return append(append([]int{}, thenF...), elseF...), nil
+
+	case *lang.ForStmt:
+		pre := g.newNode("preheader", nil)
+		attach(pre)
+		head := g.newNode(fmt.Sprintf("for %s in %s..%s", v.Var, lang.ExprString(v.From), lang.ExprString(v.To)), s)
+		g.edge(pre.ID, head.ID)
+		if curLoop != nil {
+			curLoop.BodyIDs = append(curLoop.BodyIDs, head.ID)
+		}
+		loop := &LoopInfo{Head: head.ID, PreID: pre.ID}
+		head.Loop = loop
+		g.Loops = append(g.Loops, loop)
+		bodyF, err := g.buildBlock(v.Body, []int{head.ID}, prog, loop)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range bodyF {
+			g.edge(b, head.ID) // back edge
+		}
+		// Propagate body nodes to the enclosing loop as well.
+		if curLoop != nil {
+			curLoop.BodyIDs = append(curLoop.BodyIDs, loop.BodyIDs...)
+		}
+		return []int{head.ID}, nil
+
+	case *lang.ReturnStmt:
+		n := g.newNode("return", s)
+		attach(n)
+		return nil, nil // falls off to exit via no frontier; simplistic
+
+	default:
+		label := stmtLabel(s)
+		n := g.newNode(label, s)
+		attach(n)
+		if call := callOf(s); call != nil {
+			callee := prog.Func(call.Callee)
+			if callee == nil {
+				return nil, fmt.Errorf("cfg: %s: call to undefined function %q", n.Label, call.Callee)
+			}
+			if callee.Parallel {
+				cs := &CallSite{NodeID: n.ID, Func: call.Callee}
+				for _, a := range call.Args {
+					if vr, ok := a.(*lang.VarRef); ok {
+						cs.Args = append(cs.Args, vr.Name)
+					} else {
+						cs.Args = append(cs.Args, "")
+					}
+				}
+				n.Call = cs
+				g.Calls = append(g.Calls, cs)
+			}
+		}
+		return []int{n.ID}, nil
+	}
+}
+
+// callOf extracts a call expression from a statement, if any.
+func callOf(s lang.Stmt) *lang.CallExpr {
+	switch v := s.(type) {
+	case *lang.ExprStmt:
+		if c, ok := v.X.(*lang.CallExpr); ok {
+			return c
+		}
+	case *lang.LetStmt:
+		if c, ok := v.Value.(*lang.CallExpr); ok {
+			return c
+		}
+	case *lang.AssignStmt:
+		if c, ok := v.Value.(*lang.CallExpr); ok {
+			return c
+		}
+	}
+	return nil
+}
+
+func stmtLabel(s lang.Stmt) string {
+	var b strings.Builder
+	switch v := s.(type) {
+	case *lang.LetStmt:
+		if v.AggType != "" {
+			fmt.Fprintf(&b, "let %s = %s[...]", v.Name, v.AggType)
+		} else {
+			fmt.Fprintf(&b, "let %s = %s", v.Name, lang.ExprString(v.Value))
+		}
+	case *lang.AssignStmt:
+		fmt.Fprintf(&b, "%s = %s", lang.ExprString(v.Target), lang.ExprString(v.Value))
+	case *lang.ExprStmt:
+		b.WriteString(lang.ExprString(v.X))
+	default:
+		fmt.Fprintf(&b, "%T", s)
+	}
+	return b.String()
+}
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id int) *Node { return g.Nodes[id] }
+
+// Dump renders the graph for debugging and golden tests.
+func (g *Graph) Dump() string {
+	var b strings.Builder
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&b, "%3d: %-40s ->", n.ID, n.Label)
+		for _, s := range n.Succs {
+			fmt.Fprintf(&b, " %d", s)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,181 @@
+package cfg
+
+import (
+	"testing"
+
+	"presto/internal/lang"
+)
+
+func build(t *testing.T, src string) (*Graph, *lang.Program) {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(prog.Func("main"), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, prog
+}
+
+func TestStraightLine(t *testing.T) {
+	g, _ := build(t, `
+aggregate A[] { float x; }
+parallel func f(parallel g: A) { g.x = 1; }
+func main() {
+  let g = A[8];
+  f(g);
+  f(g);
+}
+`)
+	if len(g.Calls) != 2 {
+		t.Fatalf("calls = %d", len(g.Calls))
+	}
+	// entry -> let -> call -> call -> exit, each single-successor.
+	n := g.Node(g.Entry)
+	steps := 0
+	for n.ID != g.Exit {
+		if len(n.Succs) != 1 {
+			t.Fatalf("node %d (%s) has %d succs", n.ID, n.Label, len(n.Succs))
+		}
+		n = g.Node(n.Succs[0])
+		steps++
+	}
+	if steps != 4 {
+		t.Fatalf("path length = %d, want 4", steps)
+	}
+	// Consecutive call nodes get consecutive IDs (used by coalescing).
+	if g.Calls[1].NodeID != g.Calls[0].NodeID+1 {
+		t.Fatalf("call node IDs %d,%d not adjacent", g.Calls[0].NodeID, g.Calls[1].NodeID)
+	}
+}
+
+func TestIfElseDiamond(t *testing.T) {
+	g, _ := build(t, `
+aggregate A[] { float x; }
+func main() {
+  let g = A[8];
+  let c = 1;
+  if c > 0 {
+    let a = 1;
+  } else {
+    let b = 2;
+  }
+  let d = 3;
+}
+`)
+	// Find the if node and the join (let d).
+	var ifNode, join *Node
+	for _, n := range g.Nodes {
+		if _, ok := n.Stmt.(*lang.IfStmt); ok {
+			ifNode = n
+		}
+		if n.Label == "let d = 3" {
+			join = n
+		}
+	}
+	if ifNode == nil || join == nil {
+		t.Fatal("missing nodes")
+	}
+	if len(ifNode.Succs) != 2 {
+		t.Fatalf("if succs = %v", ifNode.Succs)
+	}
+	if len(join.Preds) != 2 {
+		t.Fatalf("join preds = %v", join.Preds)
+	}
+}
+
+func TestLoopBackEdgeAndPreheader(t *testing.T) {
+	g, _ := build(t, `
+aggregate A[] { float x; }
+parallel func f(parallel g: A) { g.x = 1; }
+func main() {
+  let g = A[8];
+  for i in 0..10 {
+    f(g);
+  }
+}
+`)
+	if len(g.Loops) != 1 {
+		t.Fatalf("loops = %d", len(g.Loops))
+	}
+	loop := g.Loops[0]
+	head := g.Node(loop.Head)
+	if head.Loop != loop {
+		t.Fatal("head not linked to loop")
+	}
+	pre := g.Node(loop.PreID)
+	if len(pre.Succs) != 1 || pre.Succs[0] != loop.Head {
+		t.Fatalf("preheader succs = %v", pre.Succs)
+	}
+	// The call node must have a back edge to the head.
+	callNode := g.Node(g.Calls[0].NodeID)
+	back := false
+	for _, s := range callNode.Succs {
+		if s == loop.Head {
+			back = true
+		}
+	}
+	if !back {
+		t.Fatal("no back edge from loop body")
+	}
+	if len(loop.BodyIDs) == 0 {
+		t.Fatal("loop body empty")
+	}
+}
+
+func TestNestedLoopsBodyPropagation(t *testing.T) {
+	g, _ := build(t, `
+aggregate A[] { float x; }
+parallel func f(parallel g: A) { g.x = 1; }
+func main() {
+  let g = A[8];
+  for i in 0..10 {
+    for j in 0..10 {
+      f(g);
+    }
+  }
+}
+`)
+	if len(g.Loops) != 2 {
+		t.Fatalf("loops = %d", len(g.Loops))
+	}
+	outer, inner := g.Loops[0], g.Loops[1]
+	callID := g.Calls[0].NodeID
+	contains := func(ids []int, id int) bool {
+		for _, x := range ids {
+			if x == id {
+				return true
+			}
+		}
+		return false
+	}
+	if !contains(inner.BodyIDs, callID) {
+		t.Fatal("inner loop missing call")
+	}
+	if !contains(outer.BodyIDs, callID) {
+		t.Fatal("outer loop missing propagated call")
+	}
+}
+
+func TestUndefinedCalleeError(t *testing.T) {
+	prog := lang.MustParse(`
+aggregate A[] { float x; }
+func main() { nosuch(1); }
+`)
+	if _, err := Build(prog.Func("main"), prog); err == nil {
+		t.Fatal("expected undefined-function error")
+	}
+}
+
+func TestSequentialCallNotParallelSite(t *testing.T) {
+	g, _ := build(t, `
+aggregate A[] { float x; }
+func helper() { let q = 1; }
+func main() { helper(); }
+`)
+	if len(g.Calls) != 0 {
+		t.Fatalf("sequential call recorded as parallel site: %v", g.Calls)
+	}
+}

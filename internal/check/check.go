@@ -1,0 +1,130 @@
+// Package check verifies coherence-protocol invariants over a quiescent
+// machine (typically after a run, when all transactions have drained).
+// It is the repository's protocol oracle: the write-invalidate protocols
+// (Stache and the predictive protocol) must satisfy single-writer,
+// tag/directory agreement, and value coherence at quiescence. The
+// write-update baseline intentionally violates value coherence (stale
+// read-only copies between pushes), so the checker exempts it.
+package check
+
+import (
+	"bytes"
+	"fmt"
+
+	"presto/internal/memory"
+	"presto/internal/rt"
+	"presto/internal/tempest"
+)
+
+// Violation describes one invariant failure.
+type Violation struct {
+	Block memory.Block
+	Home  int
+	Msg   string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("block %#x (home %d): %s", uint64(v.Block), v.Home, v.Msg)
+}
+
+// Machine audits every materialized directory entry of a finished
+// machine and returns all invariant violations found.
+func Machine(m *rt.Machine) []Violation {
+	var out []Violation
+	valueCheck := m.Cfg.Protocol != rt.ProtoUpdate
+	for _, home := range m.Nodes {
+		home.Dir.ForEach(func(b memory.Block, e *tempest.DirEntry) {
+			out = append(out, auditEntry(m, home, b, e, valueCheck)...)
+		})
+	}
+	return out
+}
+
+func auditEntry(m *rt.Machine, home *tempest.Node, b memory.Block, e *tempest.DirEntry, valueCheck bool) []Violation {
+	var out []Violation
+	add := func(format string, args ...any) {
+		out = append(out, Violation{Block: b, Home: home.ID, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	if e.State == tempest.DirAwaitAcks || e.State == tempest.DirAwaitWB {
+		add("transient state %v at quiescence", e.State)
+		return out
+	}
+	if len(e.Pending) > 0 {
+		add("%d pending requests at quiescence", len(e.Pending))
+	}
+
+	tagOf := func(n *tempest.Node) memory.Tag {
+		if l := n.Store.Line(b); l != nil {
+			return l.Tag
+		}
+		return memory.Invalid
+	}
+
+	switch e.State {
+	case tempest.DirHome:
+		homeTag := tagOf(home)
+		if homeTag == memory.Invalid {
+			add("home copy invalid in DirHome")
+		}
+		if !e.Sharers.Empty() && homeTag == memory.ReadWrite && valueCheck {
+			add("home writable while %d sharers hold copies", e.Sharers.Count())
+		}
+		var homeData []byte
+		if l := home.Store.Line(b); l != nil {
+			homeData = l.Data
+		}
+		for _, n := range m.Nodes {
+			if n.ID == home.ID {
+				continue
+			}
+			t := tagOf(n)
+			if e.Sharers.Has(n.ID) {
+				if t != memory.ReadOnly {
+					add("sharer %d has tag %v, want ReadOnly", n.ID, t)
+				}
+				if valueCheck && homeData != nil {
+					if l := n.Store.Line(b); l != nil && !bytes.Equal(l.Data, homeData) {
+						add("sharer %d data diverges from home copy", n.ID)
+					}
+				}
+			} else if t != memory.Invalid {
+				add("non-sharer %d has tag %v", n.ID, t)
+			}
+		}
+	case tempest.DirRemoteExcl:
+		if e.Owner < 0 || e.Owner >= len(m.Nodes) {
+			add("bad owner %d", e.Owner)
+			return out
+		}
+		if !e.Sharers.Empty() {
+			add("sharers %v alongside exclusive owner %d", e.Sharers, e.Owner)
+		}
+		for _, n := range m.Nodes {
+			t := tagOf(n)
+			switch {
+			case n.ID == e.Owner:
+				if t != memory.ReadWrite {
+					add("owner %d has tag %v, want ReadWrite", n.ID, t)
+				}
+			default:
+				if t != memory.Invalid {
+					add("node %d has tag %v while %d owns exclusively", n.ID, t, e.Owner)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Report renders violations, or "ok" when empty.
+func Report(vs []Violation) string {
+	if len(vs) == 0 {
+		return "ok"
+	}
+	var b bytes.Buffer
+	for _, v := range vs {
+		fmt.Fprintln(&b, v)
+	}
+	return b.String()
+}

@@ -1,0 +1,246 @@
+// Package compiler implements the paper's compiler analysis (§4): it
+// classifies each parallel function's aggregate accesses as Home/Non-Home
+// reads and writes (context-insensitive summary, §4.2), computes the
+// reaching-unstructured-accesses property over main's CFG with an
+// iterative bit-vector data-flow (§4.3), decides which parallel calls need
+// a communication schedule and a pre-send directive, and applies the
+// coalescing optimization that merges neighboring home-only phases and
+// hoists directives out of home-only loops.
+package compiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"presto/internal/lang"
+)
+
+// Mode distinguishes reads from writes.
+type Mode uint8
+
+// Access modes.
+const (
+	Read Mode = iota
+	Write
+)
+
+func (m Mode) String() string {
+	if m == Write {
+		return "W"
+	}
+	return "R"
+}
+
+// Locality classifies an access against the owning element (paper §4.2):
+// Home accesses touch the invocation's own element; everything else is
+// conservatively Non-Home.
+type Locality uint8
+
+// Localities.
+const (
+	Home Locality = iota
+	NonHome
+)
+
+func (l Locality) String() string {
+	if l == NonHome {
+		return "Non-Home"
+	}
+	return "Home"
+}
+
+// Access is one summarized aggregate access of a parallel function.
+type Access struct {
+	Param    int // parameter position of the aggregate
+	Mode     Mode
+	Locality Locality
+}
+
+// Summary is a parallel function's deduplicated access list
+// (paper §4.2: e.g. update's summary is {(primal, W, Home),
+// (dual, R, Non-Home)}).
+type Summary struct {
+	Func     *lang.FuncDecl
+	Accesses []Access
+}
+
+// String renders the summary like the paper's examples.
+func (s *Summary) String() string {
+	parts := make([]string, 0, len(s.Accesses))
+	for _, a := range s.Accesses {
+		parts = append(parts, fmt.Sprintf("(%s: %s, %s)", s.Func.Params[a.Param].Name, a.Mode, a.Locality))
+	}
+	return s.Func.Name + ": {" + strings.Join(parts, ", ") + "}"
+}
+
+// HomeOnly reports whether every summarized access is a Home access.
+func (s *Summary) HomeOnly() bool {
+	for _, a := range s.Accesses {
+		if a.Locality == NonHome {
+			return false
+		}
+	}
+	return true
+}
+
+// Summarize computes a parallel function's access summary.
+func Summarize(f *lang.FuncDecl, prog *lang.Program) (*Summary, error) {
+	if !f.Parallel {
+		return nil, fmt.Errorf("compiler: %s is not a parallel function", f.Name)
+	}
+	sum := &Summary{Func: f}
+	seen := map[Access]bool{}
+	add := func(a Access) {
+		if !seen[a] {
+			seen[a] = true
+			sum.Accesses = append(sum.Accesses, a)
+		}
+	}
+
+	paramIdx := map[string]int{}
+	for i, p := range f.Params {
+		paramIdx[p.Name] = i
+	}
+	par := f.ParallelParam()
+	dims := 0
+	if d := prog.Aggregate(par.Type); d != nil {
+		dims = d.Dims
+	}
+
+	classify := func(fa *lang.FieldAccess, mode Mode) error {
+		idx, ok := paramIdx[fa.Base]
+		if !ok {
+			return fmt.Errorf("compiler: %s: access to unknown aggregate %q", f.Name, fa.Base)
+		}
+		p := f.Params[idx]
+		if p.Type == "float" || p.Type == "int" {
+			return fmt.Errorf("compiler: %s: field access on scalar parameter %q", f.Name, fa.Base)
+		}
+		loc := NonHome
+		if p.Parallel && isOwnElement(fa, dims) {
+			loc = Home
+		}
+		add(Access{Param: idx, Mode: mode, Locality: loc})
+		return nil
+	}
+
+	var err error
+	walkStmts(f.Body, func(s lang.Stmt) {
+		if a, ok := s.(*lang.AssignStmt); ok {
+			if fa, ok := a.Target.(*lang.FieldAccess); ok && err == nil {
+				if e := classify(fa, Write); e != nil {
+					err = e
+				}
+				// Index expressions are reads.
+				for _, ix := range fa.Index {
+					walkExprReads(ix, classify, &err)
+				}
+			}
+		}
+	}, func(e lang.Expr) {
+		if err != nil {
+			return
+		}
+		walkExprReads(e, classify, &err)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sum, nil
+}
+
+// isOwnElement reports whether fa names the invocation's own element: the
+// bare form `g.f` or the explicit `g[#0, #1].f` with positions in order.
+func isOwnElement(fa *lang.FieldAccess, dims int) bool {
+	if fa.Index == nil {
+		return true
+	}
+	if dims != 0 && len(fa.Index) != dims {
+		return false
+	}
+	for k, ix := range fa.Index {
+		pr, ok := ix.(*lang.PosRef)
+		if !ok || pr.Dim != k {
+			return false
+		}
+	}
+	return true
+}
+
+// walkStmts visits statements and the value-position expressions within
+// them. onStmt sees each statement (for assignment targets); onExpr sees
+// each read expression.
+func walkStmts(b *lang.Block, onStmt func(lang.Stmt), onExpr func(lang.Expr)) {
+	for _, s := range b.Stmts {
+		onStmt(s)
+		switch v := s.(type) {
+		case *lang.LetStmt:
+			if v.Value != nil {
+				onExpr(v.Value)
+			}
+			for _, d := range v.AggDims {
+				onExpr(d)
+			}
+		case *lang.AssignStmt:
+			onExpr(v.Value)
+		case *lang.IfStmt:
+			onExpr(v.Cond)
+			walkStmts(v.Then, onStmt, onExpr)
+			if v.Else != nil {
+				walkStmts(v.Else, onStmt, onExpr)
+			}
+		case *lang.ForStmt:
+			onExpr(v.From)
+			onExpr(v.To)
+			walkStmts(v.Body, onStmt, onExpr)
+		case *lang.ExprStmt:
+			onExpr(v.X)
+		case *lang.ReturnStmt:
+			if v.Value != nil {
+				onExpr(v.Value)
+			}
+		}
+	}
+}
+
+// walkExprReads classifies every FieldAccess read within e.
+func walkExprReads(e lang.Expr, classify func(*lang.FieldAccess, Mode) error, err *error) {
+	switch v := e.(type) {
+	case *lang.FieldAccess:
+		if *err == nil {
+			if e := classify(v, Read); e != nil {
+				*err = e
+			}
+		}
+		for _, ix := range v.Index {
+			walkExprReads(ix, classify, err)
+		}
+	case *lang.BinaryExpr:
+		walkExprReads(v.L, classify, err)
+		walkExprReads(v.R, classify, err)
+	case *lang.UnaryExpr:
+		walkExprReads(v.X, classify, err)
+	case *lang.CallExpr:
+		for _, a := range v.Args {
+			walkExprReads(a, classify, err)
+		}
+	case *lang.ReduceExpr:
+		// Reductions are runtime-implemented (outside the protocol).
+	}
+}
+
+// SortedAccesses returns the accesses ordered for stable output.
+func (s *Summary) SortedAccesses() []Access {
+	out := append([]Access(nil), s.Accesses...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Param != out[j].Param {
+			return out[i].Param < out[j].Param
+		}
+		if out[i].Mode != out[j].Mode {
+			return out[i].Mode < out[j].Mode
+		}
+		return out[i].Locality < out[j].Locality
+	})
+	return out
+}

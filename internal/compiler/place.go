@@ -1,0 +1,361 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"presto/internal/cfg"
+	"presto/internal/dataflow"
+	"presto/internal/lang"
+)
+
+// VarAccess is a call-site access resolved to a main-level aggregate
+// variable.
+type VarAccess struct {
+	Var      string
+	Mode     Mode
+	Locality Locality
+}
+
+// Phase is one runtime communication-schedule phase: a directive point and
+// the parallel calls it covers.
+type Phase struct {
+	ID int
+	// DirectiveNode is the CFG node at which the pre-send directive
+	// executes (a call node, or a loop preheader after hoisting).
+	DirectiveNode int
+	// Calls covered by this phase's schedule.
+	Calls []*cfg.CallSite
+	// Hoisted marks a directive moved out of a home-only loop.
+	Hoisted bool
+	// MergedHomeOnly marks a phase that absorbed neighboring home-only
+	// phases (the paper's coalescing optimization).
+	MergedHomeOnly bool
+}
+
+// Analysis is the complete compiler analysis of one program.
+type Analysis struct {
+	Prog      *lang.Program
+	Main      *lang.FuncDecl
+	Summaries map[string]*Summary
+	Graph     *cfg.Graph
+
+	// AggVars lists main's aggregate variables in bit order.
+	AggVars []string
+	aggBit  map[string]int
+	aggType map[string]string
+
+	Flow   *dataflow.Result
+	Phases []*Phase
+
+	// needs marks call sites requiring a schedule, before coalescing.
+	needs map[*cfg.CallSite]bool
+	// phaseOf maps each covered call site to its phase.
+	phaseOf map[*cfg.CallSite]*Phase
+}
+
+// Analyze runs the full pipeline on a parsed program.
+func Analyze(prog *lang.Program) (*Analysis, error) {
+	a := &Analysis{
+		Prog:      prog,
+		Summaries: map[string]*Summary{},
+		aggBit:    map[string]int{},
+		aggType:   map[string]string{},
+		needs:     map[*cfg.CallSite]bool{},
+		phaseOf:   map[*cfg.CallSite]*Phase{},
+	}
+	for _, f := range prog.Funcs {
+		if !f.Parallel {
+			continue
+		}
+		s, err := Summarize(f, prog)
+		if err != nil {
+			return nil, err
+		}
+		a.Summaries[f.Name] = s
+	}
+	a.Main = prog.Func("main")
+	if a.Main == nil {
+		return nil, fmt.Errorf("compiler: program has no main")
+	}
+	g, err := cfg.Build(a.Main, prog)
+	if err != nil {
+		return nil, err
+	}
+	a.Graph = g
+
+	// Aggregate variables instantiated in main, in declaration order.
+	collectLets(a.Main.Body, func(l *lang.LetStmt) {
+		if l.AggType == "" {
+			return
+		}
+		if _, dup := a.aggBit[l.Name]; dup {
+			return
+		}
+		a.aggBit[l.Name] = len(a.AggVars)
+		a.aggType[l.Name] = l.AggType
+		a.AggVars = append(a.AggVars, l.Name)
+	})
+	if len(a.AggVars) > 64 {
+		return nil, fmt.Errorf("compiler: more than 64 aggregate variables")
+	}
+
+	// Validate call arities so access resolution is safe.
+	for _, cs := range g.Calls {
+		f := prog.Func(cs.Func)
+		if len(cs.Args) != len(f.Params) {
+			return nil, fmt.Errorf("compiler: call to %s with %d args, want %d", cs.Func, len(cs.Args), len(f.Params))
+		}
+	}
+
+	a.Flow = dataflow.Forward(g, dataflow.Funcs{GenFn: a.gen, KillFn: a.kill})
+	a.decideNeeds()
+	a.placePhases()
+	return a, nil
+}
+
+func collectLets(b *lang.Block, fn func(*lang.LetStmt)) {
+	for _, s := range b.Stmts {
+		switch v := s.(type) {
+		case *lang.LetStmt:
+			fn(v)
+		case *lang.IfStmt:
+			collectLets(v.Then, fn)
+			if v.Else != nil {
+				collectLets(v.Else, fn)
+			}
+		case *lang.ForStmt:
+			collectLets(v.Body, fn)
+		}
+	}
+}
+
+// CallAccesses resolves a call site's summary to main's aggregate
+// variables.
+func (a *Analysis) CallAccesses(cs *cfg.CallSite) []VarAccess {
+	sum := a.Summaries[cs.Func]
+	var out []VarAccess
+	for _, acc := range sum.SortedAccesses() {
+		v := cs.Args[acc.Param]
+		if v == "" {
+			continue
+		}
+		out = append(out, VarAccess{Var: v, Mode: acc.Mode, Locality: acc.Locality})
+	}
+	return out
+}
+
+// Transfer functions (paper §4.3):
+//  1. owner writes kill reaching unstructured accesses;
+//  2. unstructured writes kill and generate;
+//  3. unstructured reads generate (multiple readers are allowed).
+func (a *Analysis) gen(nodeID int) dataflow.Bits {
+	n := a.Graph.Node(nodeID)
+	if n.Call == nil {
+		return 0
+	}
+	var g dataflow.Bits
+	for _, acc := range a.CallAccesses(n.Call) {
+		if acc.Locality == NonHome {
+			if bit, ok := a.aggBit[acc.Var]; ok {
+				g = g.Set(bit)
+			}
+		}
+	}
+	return g
+}
+
+func (a *Analysis) kill(nodeID int) dataflow.Bits {
+	n := a.Graph.Node(nodeID)
+	if n.Call == nil {
+		return 0
+	}
+	var k dataflow.Bits
+	for _, acc := range a.CallAccesses(n.Call) {
+		if acc.Mode == Write {
+			if bit, ok := a.aggBit[acc.Var]; ok {
+				k = k.Set(bit)
+			}
+		}
+	}
+	return k
+}
+
+// decideNeeds applies the placement rules (paper §4.3): a call requires a
+// schedule if (1) it is reached by unstructured accesses of an aggregate
+// it owner-writes, or (2) it itself makes unstructured accesses.
+func (a *Analysis) decideNeeds() {
+	for _, cs := range a.Graph.Calls {
+		in := a.Flow.In[cs.NodeID]
+		need := false
+		for _, acc := range a.CallAccesses(cs) {
+			if acc.Locality == NonHome {
+				need = true // rule 2
+				break
+			}
+			if acc.Mode == Write {
+				if bit, ok := a.aggBit[acc.Var]; ok && in.Has(bit) {
+					need = true // rule 1
+					break
+				}
+			}
+		}
+		a.needs[cs] = need
+	}
+}
+
+// HomeOnlyCall reports whether the call's accesses are all Home.
+func (a *Analysis) HomeOnlyCall(cs *cfg.CallSite) bool {
+	return a.Summaries[cs.Func].HomeOnly()
+}
+
+// Needs reports whether the call site requires a communication schedule.
+func (a *Analysis) Needs(cs *cfg.CallSite) bool { return a.needs[cs] }
+
+// PhaseOf returns the phase covering a call site, or nil.
+func (a *Analysis) PhaseOf(cs *cfg.CallSite) *Phase { return a.phaseOf[cs] }
+
+// placePhases assigns phase directives and applies the coalescing
+// optimization: an inside-out pass hoists directives out of loops whose
+// directive-needing calls are all home-only, and neighboring home-only
+// phases merge into the adjacent phase (paper §4.3).
+func (a *Analysis) placePhases() {
+	assigned := map[*cfg.CallSite]*Phase{}
+
+	// Inside-out loop pass (inner loops were recorded after their outer
+	// loops, so iterate in reverse).
+	for i := len(a.Graph.Loops) - 1; i >= 0; i-- {
+		loop := a.Graph.Loops[i]
+		var calls []*cfg.CallSite
+		allHome := true
+		for _, id := range loop.BodyIDs {
+			n := a.Graph.Node(id)
+			if n.Call == nil || !a.needs[n.Call] {
+				continue
+			}
+			if assigned[n.Call] != nil {
+				allHome = false // an inner loop already owns it
+				continue
+			}
+			calls = append(calls, n.Call)
+			if !a.HomeOnlyCall(n.Call) {
+				allHome = false
+			}
+		}
+		if !allHome || len(calls) == 0 {
+			continue
+		}
+		ph := &Phase{DirectiveNode: loop.PreID, Calls: calls, Hoisted: true}
+		a.Phases = append(a.Phases, ph)
+		for _, cs := range calls {
+			assigned[cs] = ph
+		}
+	}
+
+	// Straight-line pass in program order.
+	for _, cs := range a.Graph.Calls {
+		if !a.needs[cs] || assigned[cs] != nil {
+			continue
+		}
+		ph := &Phase{DirectiveNode: cs.NodeID, Calls: []*cfg.CallSite{cs}}
+		a.Phases = append(a.Phases, ph)
+		assigned[cs] = ph
+	}
+
+	// Order phases by directive position.
+	sort.Slice(a.Phases, func(i, j int) bool {
+		return a.Phases[i].DirectiveNode < a.Phases[j].DirectiveNode
+	})
+
+	// Neighbor coalescing: adjacent phases that each include only home
+	// accesses share one directive (the earlier point). Phases with
+	// non-home accesses keep their own directives — their schedules
+	// differ per iteration in what they pre-send.
+	merged := a.Phases[:0]
+	for _, ph := range a.Phases {
+		if len(merged) > 0 && a.phaseHomeOnly(ph) && a.phaseHomeOnly(merged[len(merged)-1]) {
+			prev := merged[len(merged)-1]
+			prev.Calls = append(prev.Calls, ph.Calls...)
+			prev.MergedHomeOnly = true
+			prev.Hoisted = prev.Hoisted || ph.Hoisted
+			continue
+		}
+		merged = append(merged, ph)
+	}
+	a.Phases = merged
+
+	for i, ph := range a.Phases {
+		ph.ID = i + 1
+		for _, cs := range ph.Calls {
+			a.phaseOf[cs] = ph
+		}
+	}
+}
+
+func (a *Analysis) phaseHomeOnly(ph *Phase) bool {
+	for _, cs := range ph.Calls {
+		if !a.HomeOnlyCall(cs) {
+			return false
+		}
+	}
+	return true
+}
+
+// Report renders the analysis like the paper's Figure 4: the CFG annotated
+// with access lists (a) and with runtime phase directives (b).
+func (a *Analysis) Report() string {
+	var b strings.Builder
+	b.WriteString("Parallel function access summaries (context-insensitive):\n")
+	names := make([]string, 0, len(a.Summaries))
+	for n := range a.Summaries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %s\n", a.Summaries[n])
+	}
+	fmt.Fprintf(&b, "\nAggregate variables: %s\n", strings.Join(a.AggVars, ", "))
+	b.WriteString("\nAnnotated CFG (access lists and directives):\n")
+	dirAt := map[int][]*Phase{}
+	for _, ph := range a.Phases {
+		dirAt[ph.DirectiveNode] = append(dirAt[ph.DirectiveNode], ph)
+	}
+	for _, n := range a.Graph.Nodes {
+		fmt.Fprintf(&b, "%3d: %-44s", n.ID, n.Label)
+		if n.Call != nil {
+			var parts []string
+			for _, acc := range a.CallAccesses(n.Call) {
+				parts = append(parts, fmt.Sprintf("(%s: %s, %s)", acc.Var, acc.Mode, acc.Locality))
+			}
+			fmt.Fprintf(&b, " %s", strings.Join(parts, " "))
+			if ph := a.phaseOf[n.Call]; ph != nil {
+				fmt.Fprintf(&b, "  [phase %d]", ph.ID)
+			}
+		}
+		for _, ph := range dirAt[n.ID] {
+			extra := ""
+			if ph.Hoisted {
+				extra = ", hoisted out of loop"
+			}
+			if ph.MergedHomeOnly {
+				extra += ", coalesced"
+			}
+			fmt.Fprintf(&b, "  <<presend directive: phase %d%s>>", ph.ID, extra)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "\n%d parallel phases, %d pre-send directives\n", len(a.CoveredCalls()), len(a.Phases))
+	return b.String()
+}
+
+// CoveredCalls returns the call sites covered by any phase.
+func (a *Analysis) CoveredCalls() []*cfg.CallSite {
+	var out []*cfg.CallSite
+	for _, cs := range a.Graph.Calls {
+		if a.phaseOf[cs] != nil {
+			out = append(out, cs)
+		}
+	}
+	return out
+}

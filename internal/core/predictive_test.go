@@ -1,0 +1,295 @@
+package core_test
+
+import (
+	"testing"
+
+	"presto/internal/core"
+	"presto/internal/memory"
+	"presto/internal/rt"
+	"presto/internal/schedule"
+)
+
+// predictiveOf extracts the protocol from a machine.
+func predictiveOf(t *testing.T, m *rt.Machine) *core.Predictive {
+	t.Helper()
+	p, ok := m.Proto.(*core.Predictive)
+	if !ok {
+		t.Fatalf("machine protocol is %T", m.Proto)
+	}
+	return p
+}
+
+func TestRecordingBuildsReadSchedule(t *testing.T) {
+	m := rt.New(rt.Config{Nodes: 3, BlockSize: 32, Protocol: rt.ProtoPredictive})
+	arr := m.NewArray1D("x", 12, 1, false) // 4 elems/block; one block per node
+	if err := m.Run(func(w *rt.Worker) {
+		w.Phase(7, func() {
+			if w.ID != 0 {
+				w.ReadF64(arr.At(0, 0)) // both remote nodes read node 0's block
+			}
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := predictiveOf(t, m)
+	tab := p.ScheduleTable(m.Nodes[0])
+	ph := tab.Lookup(7)
+	if ph == nil || ph.Len() != 1 {
+		t.Fatalf("schedule = %+v", ph)
+	}
+	e := ph.Entries()[0]
+	if e.Mode != schedule.ModeRead {
+		t.Fatalf("mode = %v", e.Mode)
+	}
+	if !e.Readers.Has(1) || !e.Readers.Has(2) || e.Readers.Has(0) {
+		t.Fatalf("readers = %v", e.Readers)
+	}
+	// Other nodes' tables stay empty (they home no requested blocks).
+	if p.ScheduleTable(m.Nodes[1]).Blocks() != 0 {
+		t.Fatal("non-home node recorded entries")
+	}
+}
+
+func TestRecordingTracksLastWriter(t *testing.T) {
+	m := rt.New(rt.Config{Nodes: 3, BlockSize: 32, Protocol: rt.ProtoPredictive})
+	arr := m.NewArray1D("x", 12, 1, false)
+	if err := m.Run(func(w *rt.Worker) {
+		// Writers take turns migrating node 0's block within one phase
+		// (no overlap: token order via signals).
+		w.Phase(3, func() {
+			switch w.ID {
+			case 1:
+				w.WriteF64(arr.At(0, 0), 1)
+				w.Signal(2, 0)
+			case 2:
+				w.AwaitSignal()
+				w.WriteF64(arr.At(0, 0), 2)
+			}
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := predictiveOf(t, m)
+	e := p.ScheduleTable(m.Nodes[0]).Phase(3).Entries()[0]
+	if e.Mode != schedule.ModeWrite || e.Writer != 2 {
+		t.Fatalf("entry = mode %v writer %d, want write by last writer 2", e.Mode, e.Writer)
+	}
+}
+
+func TestFaultsOutsidePhasesNotRecorded(t *testing.T) {
+	m := rt.New(rt.Config{Nodes: 2, BlockSize: 32, Protocol: rt.ProtoPredictive})
+	arr := m.NewArray1D("x", 8, 1, false)
+	if err := m.Run(func(w *rt.Worker) {
+		// Phase executes and ends; a later bare access faults outside any
+		// phase window.
+		w.Phase(1, func() {})
+		if w.ID == 1 {
+			w.ReadF64(arr.At(0, 0))
+		}
+		w.Barrier()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := predictiveOf(t, m)
+	if n := p.ScheduleTable(m.Nodes[0]).Blocks(); n != 0 {
+		t.Fatalf("recorded %d blocks outside phases", n)
+	}
+}
+
+func TestPresendRecallsFromExclusiveOwner(t *testing.T) {
+	// Phase A: node 1 writes node 0's block (migratory, leaves it
+	// RemoteExcl at node 1). Phase B: node 2 reads it. On the second
+	// iteration the pre-send of phase B must recall the block from node 1
+	// and forward it to node 2 — the slow path of the walk.
+	m := rt.New(rt.Config{Nodes: 3, BlockSize: 32, Protocol: rt.ProtoPredictive})
+	arr := m.NewArray1D("x", 12, 1, false)
+	var faultsPerIter []int64
+	if err := m.Run(func(w *rt.Worker) {
+		for it := 0; it < 3; it++ {
+			w.Phase(1, func() {
+				if w.ID == 1 {
+					w.WriteF64(arr.At(0, 0), float64(it))
+				}
+			})
+			before := w.Node.Stats.ReadFaults
+			w.Phase(2, func() {
+				if w.ID == 2 {
+					if got := w.ReadF64(arr.At(0, 0)); got != float64(it) {
+						t.Errorf("iter %d read %v", it, got)
+					}
+				}
+			})
+			if w.ID == 2 {
+				faultsPerIter = append(faultsPerIter, w.Node.Stats.ReadFaults-before)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if faultsPerIter[0] == 0 {
+		t.Fatal("first iteration must fault (recording)")
+	}
+	for it := 1; it < 3; it++ {
+		if faultsPerIter[it] != 0 {
+			t.Fatalf("iteration %d faulted %d times; pre-send recall path failed", it, faultsPerIter[it])
+		}
+	}
+}
+
+func TestAnticipateConflictsServesFrozenReaders(t *testing.T) {
+	run := func(anticipate bool) int64 {
+		m := rt.New(rt.Config{Nodes: 2, BlockSize: 64, Protocol: rt.ProtoPredictive, AnticipateConflicts: anticipate})
+		arr := m.NewArray1D("x", 8, 1, false) // one 64B block
+		if err := m.Run(func(w *rt.Worker) {
+			for it := 0; it < 6; it++ {
+				w.Phase(1, func() {
+					// Reader first (ordering fixed by signal), then
+					// writer: FirstMode freezes as read.
+					if w.ID == 1 {
+						w.ReadF64(arr.At(4, 0))
+						w.Signal(0, 0)
+					} else {
+						w.AwaitSignal()
+						w.WriteF64(arr.At(0, 0), float64(it))
+					}
+				})
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return m.Counters().ReadFaults
+	}
+	base := run(false)
+	ant := run(true)
+	if base == 0 {
+		t.Fatal("no read faults in baseline")
+	}
+	if ant >= base {
+		t.Fatalf("anticipation did not reduce read faults: %d vs %d", ant, base)
+	}
+}
+
+func TestScheduleEntriesSortedForWalk(t *testing.T) {
+	m := rt.New(rt.Config{Nodes: 2, BlockSize: 32, Protocol: rt.ProtoPredictive})
+	arr := m.NewArray1D("x", 64, 1, false)
+	if err := m.Run(func(w *rt.Worker) {
+		w.Phase(1, func() {
+			if w.ID == 1 {
+				// Read in scrambled order; the schedule walk must still
+				// see sorted blocks (coalescing prerequisite).
+				for _, i := range []int{28, 4, 12, 20, 0, 24, 8, 16} {
+					w.ReadF64(arr.At(i, 0))
+				}
+			}
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := predictiveOf(t, m)
+	es := p.ScheduleTable(m.Nodes[0]).Phase(1).Entries()
+	for i := 1; i < len(es); i++ {
+		if es[i-1].Block >= es[i].Block {
+			t.Fatal("entries not sorted")
+		}
+	}
+	if len(es) != 8 {
+		t.Fatalf("entries = %d, want 8", len(es))
+	}
+}
+
+func TestDebugPresendIdleAfterRun(t *testing.T) {
+	m := rt.New(rt.Config{Nodes: 2, BlockSize: 32, Protocol: rt.ProtoPredictive})
+	arr := m.NewArray1D("x", 8, 1, false)
+	if err := m.Run(func(w *rt.Worker) {
+		for it := 0; it < 2; it++ {
+			w.Phase(1, func() {
+				if w.ID == 1 {
+					w.ReadF64(arr.At(0, 0))
+				}
+			})
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := predictiveOf(t, m)
+	for _, n := range m.Nodes {
+		active, _, outstanding := p.DebugPresend(n)
+		if active || outstanding != 0 {
+			t.Fatalf("node %d presend not quiescent: active=%v outstanding=%d", n.ID, active, outstanding)
+		}
+	}
+}
+
+func TestPresendSkipsTargetsWithCopies(t *testing.T) {
+	// If a reader keeps its copy (no intervening write), later pre-sends
+	// skip it rather than re-sending redundant data.
+	m := rt.New(rt.Config{Nodes: 2, BlockSize: 32, Protocol: rt.ProtoPredictive})
+	arr := m.NewArray1D("x", 8, 1, false)
+	if err := m.Run(func(w *rt.Worker) {
+		for it := 0; it < 4; it++ {
+			w.Phase(2, func() {
+				if w.ID == 1 {
+					w.ReadF64(arr.At(0, 0)) // nobody ever invalidates it
+				}
+			})
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Counters()
+	if c.PresendsSkipped == 0 {
+		t.Fatal("no skipped pre-sends despite stable copy")
+	}
+	if c.PresendsSent != 0 {
+		t.Fatalf("redundant pre-sends: %d", c.PresendsSent)
+	}
+}
+
+func TestFlushEveryPolicyRelearns(t *testing.T) {
+	run := func(flushEvery int) (faults, presends int64) {
+		m := rt.New(rt.Config{Nodes: 2, BlockSize: 32, Protocol: rt.ProtoPredictive, FlushEvery: flushEvery})
+		arr := m.NewArray1D("x", 64, 1, false)
+		if err := m.Run(func(w *rt.Worker) {
+			for it := 0; it < 12; it++ {
+				w.Phase(1, func() {
+					if w.ID == 0 {
+						for i := 0; i < 32; i++ {
+							w.WriteF64(arr.At(i, 0), float64(it))
+						}
+					}
+				})
+				// Rotating read window: stale entries accumulate without
+				// flushing.
+				start := (it / 3) * 8
+				w.Phase(2, func() {
+					if w.ID == 1 {
+						for k := 0; k < 8; k++ {
+							w.ReadF64(arr.At((start+k)%32, 0))
+						}
+					}
+				})
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		c := m.Counters()
+		return c.ReadFaults, c.PresendsSent
+	}
+	_, never := run(0)
+	faultsP, policy := run(3)
+	if policy >= never {
+		t.Fatalf("FlushEvery policy did not cut stale pre-sends: %d vs %d", policy, never)
+	}
+	if faultsP == 0 {
+		t.Fatal("relearning implies some faults")
+	}
+}
+
+func TestNameAndBlockAccess(t *testing.T) {
+	p := core.New()
+	if p.Name() != "predictive" {
+		t.Fatalf("name = %q", p.Name())
+	}
+	var b memory.Block = 0
+	_ = b
+}

@@ -1,0 +1,91 @@
+// Package dataflow implements the iterative bit-vector data-flow
+// framework the compiler uses for its reaching-unstructured-accesses
+// analysis (paper §4.3): a forward, any-path (union) problem in a
+// framework identical to reaching definitions.
+package dataflow
+
+import (
+	"math/bits"
+
+	"presto/internal/cfg"
+)
+
+// Bits is a bit vector over the analysis facts (one bit per aggregate in
+// the reaching-unstructured-accesses problem; at most 64 facts).
+type Bits uint64
+
+// Has reports bit i.
+func (b Bits) Has(i int) bool { return b&(1<<uint(i)) != 0 }
+
+// Set returns b with bit i set.
+func (b Bits) Set(i int) Bits { return b | 1<<uint(i) }
+
+// Count returns the number of set bits.
+func (b Bits) Count() int { return bits.OnesCount64(uint64(b)) }
+
+// GenKill supplies each node's transfer function as gen/kill sets:
+// out = gen | (in &^ kill).
+type GenKill interface {
+	Gen(nodeID int) Bits
+	Kill(nodeID int) Bits
+}
+
+// Result carries the fixpoint solution.
+type Result struct {
+	In  []Bits
+	Out []Bits
+	// Iterations is the number of passes until the fixpoint (tests).
+	Iterations int
+}
+
+// Forward solves a forward any-path problem over g with the given
+// transfer functions, using a worklist until fixpoint.
+func Forward(g *cfg.Graph, tf GenKill) *Result {
+	n := len(g.Nodes)
+	res := &Result{In: make([]Bits, n), Out: make([]Bits, n)}
+
+	// Seed the worklist in node order (reverse-postorder would converge
+	// faster; the graphs here are tiny).
+	work := make([]int, 0, n)
+	inWork := make([]bool, n)
+	for i := 0; i < n; i++ {
+		work = append(work, i)
+		inWork[i] = true
+	}
+	for len(work) > 0 {
+		id := work[0]
+		work = work[1:]
+		inWork[id] = false
+		res.Iterations++
+
+		var in Bits
+		for _, p := range g.Nodes[id].Preds {
+			in |= res.Out[p]
+		}
+		out := tf.Gen(id) | (in &^ tf.Kill(id))
+		res.In[id] = in
+		if out == res.Out[id] {
+			continue
+		}
+		res.Out[id] = out
+		for _, s := range g.Nodes[id].Succs {
+			if !inWork[s] {
+				work = append(work, s)
+				inWork[s] = true
+			}
+		}
+	}
+	return res
+}
+
+// Funcs adapts plain functions to GenKill.
+type Funcs struct {
+	GenFn  func(nodeID int) Bits
+	KillFn func(nodeID int) Bits
+}
+
+// Gen implements GenKill.
+func (f Funcs) Gen(id int) Bits { return f.GenFn(id) }
+
+// Kill implements GenKill.
+func (f Funcs) Kill(id int) Bits { return f.KillFn(id) }

@@ -1,0 +1,185 @@
+// Package harness regenerates the paper's experimental artifacts: Table 1
+// (the benchmark workloads), Figure 4 (the compiler's annotated Barnes
+// CFG), and Figures 5-7 (execution-time comparisons for Adaptive, Barnes
+// and Water), plus the §5.4 block-size sweep and the ablations called out
+// in DESIGN.md. Each experiment produces labeled rows (one per program
+// version/bar) with the paper's three-way time split, rendered as text
+// tables with ASCII bars.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"presto/internal/rt"
+	"presto/internal/sim"
+)
+
+// Scale selects workload sizes.
+type Scale int
+
+const (
+	// Quick runs CI-sized workloads (seconds of wall clock).
+	Quick Scale = iota
+	// Paper runs the paper's workload sizes (Table 1).
+	Paper
+)
+
+// ParseScale maps "paper"/"quick" to a Scale.
+func ParseScale(s string) Scale {
+	if strings.EqualFold(s, "paper") {
+		return Paper
+	}
+	return Quick
+}
+
+// Row is one bar of a figure: a program version's time breakdown.
+type Row struct {
+	Label     string
+	BlockSize int
+	B         rt.Breakdown
+	C         rt.Counters
+}
+
+// Total returns the row's execution time.
+func (r Row) Total() sim.Time { return r.B.Elapsed }
+
+// Result is one experiment's output.
+type Result struct {
+	ID    string
+	Title string
+	Rows  []Row
+	// Notes carries derived findings (speedups, crossovers) recorded in
+	// EXPERIMENTS.md.
+	Notes []string
+}
+
+// Best returns the fastest row matching the label prefix.
+func (res *Result) Best(prefix string) (Row, bool) {
+	var best Row
+	found := false
+	for _, r := range res.Rows {
+		if !strings.HasPrefix(r.Label, prefix) {
+			continue
+		}
+		if !found || r.Total() < best.Total() {
+			best = r
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Find returns the row with the exact label.
+func (res *Result) Find(label string) (Row, bool) {
+	for _, r := range res.Rows {
+		if r.Label == label {
+			return r, true
+		}
+	}
+	return Row{}, false
+}
+
+// AddNote records a derived finding.
+func (res *Result) AddNote(format string, args ...any) {
+	res.Notes = append(res.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render prints the figure as a table plus normalized stacked bars, in
+// the spirit of the paper's figures (bars normalized to the fastest
+// version, split into remote-wait / pre-send / compute+synch).
+func (res *Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n\n", res.ID, res.Title)
+	if len(res.Rows) == 0 {
+		for _, n := range res.Notes {
+			fmt.Fprintln(w, n)
+		}
+		return
+	}
+	fastest := res.Rows[0].Total()
+	for _, r := range res.Rows {
+		if r.Total() < fastest {
+			fastest = r.Total()
+		}
+	}
+	fmt.Fprintf(w, "%-26s %10s %12s %12s %14s %8s\n",
+		"version", "total", "remote-wait", "presend", "compute+synch", "rel")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%-26s %10v %12v %12v %14v %8.2f\n",
+			r.Label, r.B.Elapsed, r.B.RemoteWait, r.B.Presend, r.B.ComputeSynch(),
+			float64(r.Total())/float64(fastest))
+	}
+	fmt.Fprintln(w)
+	// Stacked bars: #=compute+synch, p=presend, r=remote wait; width
+	// proportional to time relative to the slowest version.
+	var slowest sim.Time
+	for _, r := range res.Rows {
+		if r.Total() > slowest {
+			slowest = r.Total()
+		}
+	}
+	const width = 60
+	for _, r := range res.Rows {
+		cs := int(float64(r.B.ComputeSynch()) / float64(slowest) * width)
+		ps := int(float64(r.B.Presend) / float64(slowest) * width)
+		rw := int(float64(r.B.RemoteWait) / float64(slowest) * width)
+		fmt.Fprintf(w, "%-26s |%s%s%s\n", r.Label,
+			strings.Repeat("#", cs), strings.Repeat("p", ps), strings.Repeat("r", rw))
+	}
+	fmt.Fprintln(w, "\n  # compute+synch   p predictive protocol (pre-send)   r remote-data wait")
+	if len(res.Notes) > 0 {
+		fmt.Fprintln(w)
+		for _, n := range res.Notes {
+			fmt.Fprintf(w, "  - %s\n", n)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV renders the rows as comma-separated values for external plotting.
+func (res *Result) CSV(w io.Writer) {
+	fmt.Fprintln(w, "experiment,version,block_bytes,total_s,remote_wait_s,presend_s,compute_synch_s,read_faults,write_faults,msgs,presends,conflicts")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%s,%s,%d,%.6f,%.6f,%.6f,%.6f,%d,%d,%d,%d,%d\n",
+			res.ID, r.Label, r.BlockSize,
+			r.B.Elapsed.Seconds(), r.B.RemoteWait.Seconds(), r.B.Presend.Seconds(),
+			r.B.ComputeSynch().Seconds(),
+			r.C.ReadFaults, r.C.WriteFaults, r.C.MsgsSent, r.C.PresendsSent, r.C.Conflicts)
+	}
+}
+
+// Experiment is one registered paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper states the qualitative claim being reproduced.
+	Paper string
+	Run   func(scale Scale) (*Result, error)
+}
+
+var registry []Experiment
+
+// Register installs an experiment (called from init functions).
+func Register(e Experiment) { registry = append(registry, e) }
+
+// All returns registered experiments sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID returns a registered experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ratio formats a speedup with two decimals.
+func ratio(a, b sim.Time) float64 { return float64(a) / float64(b) }

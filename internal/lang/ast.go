@@ -1,0 +1,227 @@
+package lang
+
+// Program is one parsed cstar source file.
+type Program struct {
+	Aggregates []*AggregateDecl
+	Funcs      []*FuncDecl
+}
+
+// Aggregate returns the aggregate declaration with the given name, or nil.
+func (p *Program) Aggregate(name string) *AggregateDecl {
+	for _, a := range p.Aggregates {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Func returns the function declaration with the given name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// AggregateDecl declares a data collection type: `aggregate Grid[,] {
+// float v; }` (paper Figure 1). Two-dimensional aggregates may name a
+// computation distribution — `rowblock` (default) or `tiled` — matching
+// the distributions C**'s runtime provided (paper §4.1).
+type AggregateDecl struct {
+	Pos    Pos
+	Name   string
+	Dims   int    // 1 or 2
+	Dist   string // "", "rowblock" or "tiled"
+	Fields []string
+}
+
+// FieldIndex returns the index of a field, or -1.
+func (a *AggregateDecl) FieldIndex(name string) int {
+	for i, f := range a.Fields {
+		if f == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Param is one function parameter.
+type Param struct {
+	Pos  Pos
+	Name string
+	// Type is "float", "int", or an aggregate type name.
+	Type string
+	// Parallel marks the parallel aggregate parameter (paper Figure 2).
+	Parallel bool
+}
+
+// FuncDecl declares a function; Parallel functions execute once per
+// element of their parallel parameter.
+type FuncDecl struct {
+	Pos      Pos
+	Name     string
+	Parallel bool
+	Params   []*Param
+	Body     *Block
+}
+
+// ParallelParam returns the parallel parameter of a parallel function.
+func (f *FuncDecl) ParallelParam() *Param {
+	for _, p := range f.Params {
+		if p.Parallel {
+			return p
+		}
+	}
+	return nil
+}
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// LetStmt declares a scalar variable or instantiates an aggregate:
+// `let x = 3;` or `let g = Grid[128, 128];`.
+type LetStmt struct {
+	Pos  Pos
+	Name string
+	// AggType/AggDims are set for aggregate instantiations.
+	AggType string
+	AggDims []Expr
+	// Value is set for scalar initialization.
+	Value Expr
+}
+
+// AssignStmt writes to a scalar variable or an aggregate element field.
+type AssignStmt struct {
+	Pos    Pos
+	Target Expr // VarRef, FieldAccess
+	Value  Expr
+}
+
+// IfStmt is a two-way conditional.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *Block
+	Else *Block // may be nil
+}
+
+// ForStmt is a half-open integer range loop: `for i in a..b { }`.
+type ForStmt struct {
+	Pos      Pos
+	Var      string
+	From, To Expr
+	Body     *Block
+}
+
+// ExprStmt evaluates an expression for effect (function calls).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// ReturnStmt returns from a function (optionally with a value).
+type ReturnStmt struct {
+	Pos   Pos
+	Value Expr // may be nil
+}
+
+func (*LetStmt) stmtNode()    {}
+func (*AssignStmt) stmtNode() {}
+func (*IfStmt) stmtNode()     {}
+func (*ForStmt) stmtNode()    {}
+func (*ExprStmt) stmtNode()   {}
+func (*ReturnStmt) stmtNode() {}
+
+// Expr is an expression node.
+type Expr interface {
+	exprNode()
+	Position() Pos
+}
+
+// NumberLit is a numeric literal.
+type NumberLit struct {
+	Pos   Pos
+	Value float64
+	Text  string
+}
+
+// VarRef names a variable or parameter.
+type VarRef struct {
+	Pos  Pos
+	Name string
+}
+
+// PosRef is an element-position pseudo-variable (#0 or #1, paper
+// Figure 2).
+type PosRef struct {
+	Pos Pos
+	Dim int // 0 or 1
+}
+
+// FieldAccess reads or writes an aggregate element field:
+// `g.v` (own element) or `g[i, j].v` / `g[#0+1, #1].v`.
+type FieldAccess struct {
+	Pos   Pos
+	Base  string // aggregate variable or parameter name
+	Index []Expr // nil for own-element access
+	Field string
+}
+
+// BinaryExpr applies an infix operator.
+type BinaryExpr struct {
+	Pos  Pos
+	Op   Kind
+	L, R Expr
+}
+
+// UnaryExpr applies a prefix operator (-, !).
+type UnaryExpr struct {
+	Pos Pos
+	Op  Kind
+	X   Expr
+}
+
+// CallExpr invokes a function: parallel calls name an aggregate argument.
+type CallExpr struct {
+	Pos    Pos
+	Callee string
+	Args   []Expr
+}
+
+// ReduceExpr is a language-level reduction over an aggregate field:
+// `reduce(+, g.v)` (paper §1: reductions have high-level support and are
+// outside the predictive protocol's scope).
+type ReduceExpr struct {
+	Pos   Pos
+	Op    Kind // Plus or Star or Lt/Gt for min/max
+	Base  string
+	Field string
+}
+
+func (*NumberLit) exprNode()   {}
+func (*VarRef) exprNode()      {}
+func (*PosRef) exprNode()      {}
+func (*FieldAccess) exprNode() {}
+func (*BinaryExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()   {}
+func (*CallExpr) exprNode()    {}
+func (*ReduceExpr) exprNode()  {}
+
+// Position implements Expr.
+func (e *NumberLit) Position() Pos   { return e.Pos }
+func (e *VarRef) Position() Pos      { return e.Pos }
+func (e *PosRef) Position() Pos      { return e.Pos }
+func (e *FieldAccess) Position() Pos { return e.Pos }
+func (e *BinaryExpr) Position() Pos  { return e.Pos }
+func (e *UnaryExpr) Position() Pos   { return e.Pos }
+func (e *CallExpr) Position() Pos    { return e.Pos }
+func (e *ReduceExpr) Position() Pos  { return e.Pos }

@@ -1,0 +1,230 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+const jacobiSrc = `
+// Two-buffer Jacobi relaxation (paper Figure 2's stencil, cstar syntax).
+aggregate Cell[,] {
+  float v;
+  float nv;
+}
+
+parallel func sweep(parallel g: Cell) {
+  g.nv = 0.25 * (g[#0-1, #1].v + g[#0+1, #1].v + g[#0, #1-1].v + g[#0, #1+1].v);
+}
+
+parallel func commit(parallel g: Cell) {
+  g.v = g.nv;
+}
+
+func main() {
+  let g = Cell[64, 64];
+  for it in 0..50 {
+    sweep(g);
+    commit(g);
+  }
+}
+`
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("let x = 1.5; // comment\n#0 #1 a..b <= != &&")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []Kind
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+	}
+	want := []Kind{KwLet, IDENT, Assign, NUMBER, Semicolon, POS, POS, IDENT, DotDot, IDENT, Le, NotEq, AndAnd, EOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexNumberVsRange(t *testing.T) {
+	toks, err := Lex("0..100 1.5 2.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != NUMBER || toks[0].Text != "0" {
+		t.Fatalf("tok0 = %v", toks[0])
+	}
+	if toks[1].Kind != DotDot {
+		t.Fatalf("tok1 = %v", toks[1])
+	}
+	if toks[3].Text != "1.5" || toks[4].Text != "2.25" {
+		t.Fatalf("floats = %v %v", toks[3], toks[4])
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("a $ b"); err == nil {
+		t.Fatal("expected error for $")
+	}
+	if _, err := Lex("#2"); err == nil {
+		t.Fatal("expected error for #2")
+	}
+}
+
+func TestParseJacobi(t *testing.T) {
+	prog, err := Parse(jacobiSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Aggregates) != 1 || prog.Aggregates[0].Dims != 2 {
+		t.Fatalf("aggregates = %+v", prog.Aggregates)
+	}
+	if got := prog.Aggregate("Cell").FieldIndex("nv"); got != 1 {
+		t.Fatalf("field index = %d", got)
+	}
+	if len(prog.Funcs) != 3 {
+		t.Fatalf("funcs = %d", len(prog.Funcs))
+	}
+	sweep := prog.Func("sweep")
+	if sweep == nil || !sweep.Parallel || sweep.ParallelParam().Name != "g" {
+		t.Fatalf("sweep = %+v", sweep)
+	}
+	main := prog.Func("main")
+	if main.Parallel {
+		t.Fatal("main must be sequential")
+	}
+	let := main.Body.Stmts[0].(*LetStmt)
+	if let.AggType != "Cell" || len(let.AggDims) != 2 {
+		t.Fatalf("let = %+v", let)
+	}
+	loop := main.Body.Stmts[1].(*ForStmt)
+	if loop.Var != "it" || len(loop.Body.Stmts) != 2 {
+		t.Fatalf("loop = %+v", loop)
+	}
+}
+
+func TestParseAccessForms(t *testing.T) {
+	src := `
+aggregate A[] { float x; }
+parallel func f(parallel g: A, other: A) {
+  g.x = g[#0+1].x + other[3].x;
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.Func("f")
+	asn := f.Body.Stmts[0].(*AssignStmt)
+	tgt := asn.Target.(*FieldAccess)
+	if tgt.Base != "g" || tgt.Index != nil || tgt.Field != "x" {
+		t.Fatalf("target = %+v", tgt)
+	}
+	sum := asn.Value.(*BinaryExpr)
+	l := sum.L.(*FieldAccess)
+	if l.Base != "g" || len(l.Index) != 1 {
+		t.Fatalf("lhs = %+v", l)
+	}
+	r := sum.R.(*FieldAccess)
+	if r.Base != "other" || len(r.Index) != 1 {
+		t.Fatalf("rhs = %+v", r)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog := MustParse(`
+aggregate A[] { float x; }
+func main() {
+  let a = 1 + 2 * 3;
+  let b = (1 + 2) * 3;
+  let c = 1 < 2 && 3 < 4 || 0 == 1;
+}
+`)
+	main := prog.Func("main")
+	a := main.Body.Stmts[0].(*LetStmt).Value.(*BinaryExpr)
+	if a.Op != Plus {
+		t.Fatalf("a root op = %v, want +", a.Op)
+	}
+	b := main.Body.Stmts[1].(*LetStmt).Value.(*BinaryExpr)
+	if b.Op != Star {
+		t.Fatalf("b root op = %v, want *", b.Op)
+	}
+	c := main.Body.Stmts[2].(*LetStmt).Value.(*BinaryExpr)
+	if c.Op != OrOr {
+		t.Fatalf("c root op = %v, want ||", c.Op)
+	}
+}
+
+func TestParseReduce(t *testing.T) {
+	prog := MustParse(`
+aggregate A[] { float x; }
+func main() {
+  let g = A[10];
+  let s = reduce(+, g.x);
+}
+`)
+	red := prog.Func("main").Body.Stmts[1].(*LetStmt).Value.(*ReduceExpr)
+	if red.Op != Plus || red.Base != "g" || red.Field != "x" {
+		t.Fatalf("reduce = %+v", red)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"aggregate A[] { }",                          // no fields
+		"parallel func f(x: float) {}",               // no parallel param
+		"func main() { let g = Unknown[4]; }",        // unknown type in param position is fine; this is var ref + index without .field
+		"func main() { 1 + ; }",                      // broken expr
+		"aggregate A[] { float x; } func f(a: B) {}", // unknown param type
+		"func main() { (1+2) = 3; }",                 // bad assign target
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	prog := MustParse(jacobiSrc)
+	out := Format(prog)
+	// The formatted source must itself parse to an equivalent program.
+	prog2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("formatted source does not parse: %v\n%s", err, out)
+	}
+	if Format(prog2) != out {
+		t.Fatal("format not idempotent")
+	}
+	if !strings.Contains(out, "parallel func sweep(parallel g: Cell)") {
+		t.Fatalf("missing parallel marker:\n%s", out)
+	}
+}
+
+func TestDistributionAttribute(t *testing.T) {
+	prog := MustParse(`
+aggregate A[,] tiled { float x; }
+aggregate B[,] rowblock { float x; }
+aggregate C[,] { float x; }
+func main() { let a = A[4,4]; }
+`)
+	if prog.Aggregate("A").Dist != "tiled" {
+		t.Fatal("tiled attribute lost")
+	}
+	if prog.Aggregate("B").Dist != "rowblock" {
+		t.Fatal("rowblock attribute lost")
+	}
+	if prog.Aggregate("C").Dist != "" {
+		t.Fatal("default dist not empty")
+	}
+	out := Format(prog)
+	if !strings.Contains(out, "aggregate A[,] tiled {") {
+		t.Fatalf("format lost distribution:\n%s", out)
+	}
+	if _, err := Parse(out); err != nil {
+		t.Fatalf("format round trip: %v", err)
+	}
+}

@@ -1,0 +1,158 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// LexError reports a tokenization failure.
+type LexError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *LexError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lex tokenizes src (comments: // to end of line).
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	adv := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += k
+	}
+	for i < n {
+		c := src[i]
+		pos := Pos{line, col}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			adv(1)
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				adv(1)
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < n && (isIdentChar(src[j])) {
+				j++
+			}
+			word := src[i:j]
+			if k, ok := keywords[word]; ok {
+				toks = append(toks, Token{Kind: k, Text: word, Pos: pos})
+			} else {
+				toks = append(toks, Token{Kind: IDENT, Text: word, Pos: pos})
+			}
+			adv(j - i)
+		case c >= '0' && c <= '9':
+			j := i
+			seenDot := false
+			for j < n {
+				if src[j] >= '0' && src[j] <= '9' {
+					j++
+					continue
+				}
+				// A '.' starts a fraction only if not part of "..".
+				if src[j] == '.' && !seenDot && j+1 < n && src[j+1] != '.' {
+					seenDot = true
+					j++
+					continue
+				}
+				break
+			}
+			toks = append(toks, Token{Kind: NUMBER, Text: src[i:j], Pos: pos})
+			adv(j - i)
+		case c == '#':
+			if i+1 < n && (src[i+1] == '0' || src[i+1] == '1') {
+				toks = append(toks, Token{Kind: POS, Text: src[i : i+2], Pos: pos})
+				adv(2)
+				break
+			}
+			return nil, &LexError{pos, "expected #0 or #1"}
+		default:
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			var k Kind
+			var width int
+			switch two {
+			case "..":
+				k, width = DotDot, 2
+			case "<=":
+				k, width = Le, 2
+			case ">=":
+				k, width = Ge, 2
+			case "==":
+				k, width = EqEq, 2
+			case "!=":
+				k, width = NotEq, 2
+			case "&&":
+				k, width = AndAnd, 2
+			case "||":
+				k, width = OrOr, 2
+			default:
+				width = 1
+				switch c {
+				case '(':
+					k = LParen
+				case ')':
+					k = RParen
+				case '{':
+					k = LBrace
+				case '}':
+					k = RBrace
+				case '[':
+					k = LBracket
+				case ']':
+					k = RBracket
+				case ',':
+					k = Comma
+				case ';':
+					k = Semicolon
+				case ':':
+					k = Colon
+				case '.':
+					k = Dot
+				case '=':
+					k = Assign
+				case '+':
+					k = Plus
+				case '-':
+					k = Minus
+				case '*':
+					k = Star
+				case '/':
+					k = Slash
+				case '%':
+					k = Percent
+				case '<':
+					k = Lt
+				case '>':
+					k = Gt
+				case '!':
+					k = Not
+				default:
+					return nil, &LexError{pos, fmt.Sprintf("unexpected character %q", c)}
+				}
+			}
+			toks = append(toks, Token{Kind: k, Text: strings.TrimSpace(src[i : i+width]), Pos: pos})
+			adv(width)
+		}
+	}
+	toks = append(toks, Token{Kind: EOF, Pos: Pos{line, col}})
+	return toks, nil
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}

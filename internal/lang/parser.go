@@ -1,0 +1,544 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ParseError reports a syntax error.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Parse lexes and parses one cstar source file.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, aggTypes: map[string]int{}}
+	prog, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse parses or panics (tests and examples).
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+type parser struct {
+	toks []Token
+	i    int
+	// aggTypes maps declared aggregate names to their dimensionality.
+	aggTypes map[string]int
+}
+
+func (p *parser) peek() Token { return p.toks[p.i] }
+func (p *parser) peekAt(k int) Token {
+	j := p.i + k
+	if j >= len(p.toks) {
+		j = len(p.toks) - 1
+	}
+	return p.toks[j]
+}
+func (p *parser) next() Token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) accept(k Kind) (Token, bool) {
+	if p.peek().Kind == k {
+		return p.next(), true
+	}
+	return Token{}, false
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	if t, ok := p.accept(k); ok {
+		return t, nil
+	}
+	t := p.peek()
+	return Token{}, &ParseError{t.Pos, fmt.Sprintf("expected %s, found %s", k, t)}
+}
+
+func (p *parser) program() (*Program, error) {
+	prog := &Program{}
+	for p.peek().Kind != EOF {
+		switch p.peek().Kind {
+		case KwAggregate:
+			a, err := p.aggregateDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Aggregates = append(prog.Aggregates, a)
+			p.aggTypes[a.Name] = a.Dims
+		case KwParallel, KwFunc:
+			f, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		default:
+			t := p.peek()
+			return nil, &ParseError{t.Pos, fmt.Sprintf("expected declaration, found %s", t)}
+		}
+	}
+	return prog, nil
+}
+
+// aggregateDecl := "aggregate" IDENT ("[" "]" | "[" "," "]") "{" ("float" IDENT ";")* "}"
+func (p *parser) aggregateDecl() (*AggregateDecl, error) {
+	kw, _ := p.expect(KwAggregate)
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LBracket); err != nil {
+		return nil, err
+	}
+	dims := 1
+	if _, ok := p.accept(Comma); ok {
+		dims = 2
+	}
+	if _, err := p.expect(RBracket); err != nil {
+		return nil, err
+	}
+	dist := ""
+	if p.peek().Kind == IDENT {
+		d := p.next()
+		switch d.Text {
+		case "rowblock", "tiled":
+			dist = d.Text
+		default:
+			return nil, &ParseError{d.Pos, fmt.Sprintf("unknown distribution %q (want rowblock or tiled)", d.Text)}
+		}
+		if dist == "tiled" && dims != 2 {
+			return nil, &ParseError{d.Pos, "tiled distribution requires a 2-D aggregate"}
+		}
+	}
+	if _, err := p.expect(LBrace); err != nil {
+		return nil, err
+	}
+	a := &AggregateDecl{Pos: kw.Pos, Name: name.Text, Dims: dims, Dist: dist}
+	for p.peek().Kind != RBrace {
+		if _, err := p.expect(KwFloat); err != nil {
+			return nil, err
+		}
+		f, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		a.Fields = append(a.Fields, f.Text)
+	}
+	p.next() // RBrace
+	if len(a.Fields) == 0 {
+		return nil, &ParseError{a.Pos, "aggregate has no fields"}
+	}
+	return a, nil
+}
+
+// funcDecl := "parallel"? "func" IDENT "(" params? ")" block
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	f := &FuncDecl{}
+	if t, ok := p.accept(KwParallel); ok {
+		f.Parallel = true
+		f.Pos = t.Pos
+	}
+	t, err := p.expect(KwFunc)
+	if err != nil {
+		return nil, err
+	}
+	if !f.Parallel {
+		f.Pos = t.Pos
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	f.Name = name.Text
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	for p.peek().Kind != RParen {
+		if len(f.Params) > 0 {
+			if _, err := p.expect(Comma); err != nil {
+				return nil, err
+			}
+		}
+		par := &Param{}
+		if t, ok := p.accept(KwParallel); ok {
+			par.Parallel = true
+			par.Pos = t.Pos
+		}
+		id, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if !par.Parallel {
+			par.Pos = id.Pos
+		}
+		par.Name = id.Text
+		if _, err := p.expect(Colon); err != nil {
+			return nil, err
+		}
+		switch p.peek().Kind {
+		case KwFloat:
+			p.next()
+			par.Type = "float"
+		case IDENT:
+			ty := p.next()
+			if _, ok := p.aggTypes[ty.Text]; !ok && ty.Text != "int" {
+				return nil, &ParseError{ty.Pos, fmt.Sprintf("unknown type %q", ty.Text)}
+			}
+			par.Type = ty.Text
+		default:
+			return nil, &ParseError{p.peek().Pos, "expected parameter type"}
+		}
+		f.Params = append(f.Params, par)
+	}
+	p.next() // RParen
+	if f.Parallel {
+		if f.ParallelParam() == nil {
+			return nil, &ParseError{f.Pos, fmt.Sprintf("parallel function %q has no parallel parameter", f.Name)}
+		}
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	lb, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: lb.Pos}
+	for p.peek().Kind != RBrace {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // RBrace
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch p.peek().Kind {
+	case KwLet:
+		return p.letStmt()
+	case KwIf:
+		return p.ifStmt()
+	case KwFor:
+		return p.forStmt()
+	case KwReturn:
+		t := p.next()
+		r := &ReturnStmt{Pos: t.Pos}
+		if p.peek().Kind != Semicolon {
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			r.Value = v
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return r, nil
+	default:
+		// Assignment or expression statement.
+		pos := p.peek().Pos
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := p.accept(Assign); ok {
+			switch x.(type) {
+			case *VarRef, *FieldAccess:
+			default:
+				return nil, &ParseError{pos, "invalid assignment target"}
+			}
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(Semicolon); err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Pos: pos, Target: x, Value: v}, nil
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{Pos: pos, X: x}, nil
+	}
+}
+
+func (p *parser) letStmt() (Stmt, error) {
+	kw := p.next()
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Assign); err != nil {
+		return nil, err
+	}
+	// Aggregate instantiation: `let g = Grid[...dims...];`
+	if p.peek().Kind == IDENT {
+		if dims, ok := p.aggTypes[p.peek().Text]; ok && p.peekAt(1).Kind == LBracket {
+			ty := p.next()
+			p.next() // LBracket
+			var sizes []Expr
+			for k := 0; k < dims; k++ {
+				if k > 0 {
+					if _, err := p.expect(Comma); err != nil {
+						return nil, err
+					}
+				}
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				sizes = append(sizes, e)
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(Semicolon); err != nil {
+				return nil, err
+			}
+			return &LetStmt{Pos: kw.Pos, Name: name.Text, AggType: ty.Text, AggDims: sizes}, nil
+		}
+	}
+	v, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	return &LetStmt{Pos: kw.Pos, Name: name.Text, Value: v}, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	kw := p.next()
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Pos: kw.Pos, Cond: cond, Then: then}
+	if _, ok := p.accept(KwElse); ok {
+		els, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		s.Else = els
+	}
+	return s, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	kw := p.next()
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KwIn); err != nil {
+		return nil, err
+	}
+	from, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(DotDot); err != nil {
+		return nil, err
+	}
+	to, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{Pos: kw.Pos, Var: name.Text, From: from, To: to, Body: body}, nil
+}
+
+// Precedence climbing.
+var binPrec = map[Kind]int{
+	OrOr:   1,
+	AndAnd: 2,
+	EqEq:   3, NotEq: 3, Lt: 3, Gt: 3, Le: 3, Ge: 3,
+	Plus: 4, Minus: 4,
+	Star: 5, Slash: 5, Percent: 5,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binary(1) }
+
+func (p *parser) binary(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.peek()
+		prec, ok := binPrec[op.Kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Pos: op.Pos, Op: op.Kind, L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	if t := p.peek(); t.Kind == Minus || t.Kind == Not {
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: t.Pos, Op: t.Kind, X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case NUMBER:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, &ParseError{t.Pos, "bad number literal"}
+		}
+		return &NumberLit{Pos: t.Pos, Value: v, Text: t.Text}, nil
+	case POS:
+		p.next()
+		dim := 0
+		if t.Text == "#1" {
+			dim = 1
+		}
+		return &PosRef{Pos: t.Pos, Dim: dim}, nil
+	case LParen:
+		p.next()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case KwReduce:
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		op := p.next()
+		switch op.Kind {
+		case Plus, Star, Lt, Gt:
+		default:
+			return nil, &ParseError{op.Pos, "reduce operator must be one of + * < >"}
+		}
+		if _, err := p.expect(Comma); err != nil {
+			return nil, err
+		}
+		base, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Dot); err != nil {
+			return nil, err
+		}
+		field, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return &ReduceExpr{Pos: t.Pos, Op: op.Kind, Base: base.Text, Field: field.Text}, nil
+	case IDENT:
+		p.next()
+		// Call?
+		if p.peek().Kind == LParen {
+			p.next()
+			call := &CallExpr{Pos: t.Pos, Callee: t.Text}
+			for p.peek().Kind != RParen {
+				if len(call.Args) > 0 {
+					if _, err := p.expect(Comma); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			p.next() // RParen
+			return call, nil
+		}
+		// Element access: base[indices].field
+		if p.peek().Kind == LBracket {
+			p.next()
+			var idx []Expr
+			for {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				idx = append(idx, e)
+				if _, ok := p.accept(Comma); !ok {
+					break
+				}
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(Dot); err != nil {
+				return nil, err
+			}
+			f, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			return &FieldAccess{Pos: t.Pos, Base: t.Text, Index: idx, Field: f.Text}, nil
+		}
+		// Own-element field access: base.field
+		if p.peek().Kind == Dot {
+			p.next()
+			f, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			return &FieldAccess{Pos: t.Pos, Base: t.Text, Field: f.Text}, nil
+		}
+		return &VarRef{Pos: t.Pos, Name: t.Text}, nil
+	default:
+		return nil, &ParseError{t.Pos, fmt.Sprintf("unexpected %s in expression", t)}
+	}
+}

@@ -1,0 +1,141 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a Program back to canonical cstar source.
+func Format(p *Program) string {
+	var b strings.Builder
+	for _, a := range p.Aggregates {
+		dims := "[]"
+		if a.Dims == 2 {
+			dims = "[,]"
+		}
+		dist := ""
+		if a.Dist != "" {
+			dist = " " + a.Dist
+		}
+		fmt.Fprintf(&b, "aggregate %s%s%s {\n", a.Name, dims, dist)
+		for _, f := range a.Fields {
+			fmt.Fprintf(&b, "  float %s;\n", f)
+		}
+		b.WriteString("}\n\n")
+	}
+	for i, f := range p.Funcs {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		if f.Parallel {
+			b.WriteString("parallel ")
+		}
+		fmt.Fprintf(&b, "func %s(", f.Name)
+		for j, par := range f.Params {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			if par.Parallel {
+				b.WriteString("parallel ")
+			}
+			fmt.Fprintf(&b, "%s: %s", par.Name, par.Type)
+		}
+		b.WriteString(") ")
+		formatBlock(&b, f.Body, 0)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func formatBlock(b *strings.Builder, blk *Block, depth int) {
+	b.WriteString("{\n")
+	for _, s := range blk.Stmts {
+		formatStmt(b, s, depth+1)
+	}
+	indent(b, depth)
+	b.WriteString("}")
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func formatStmt(b *strings.Builder, s Stmt, depth int) {
+	indent(b, depth)
+	switch v := s.(type) {
+	case *LetStmt:
+		if v.AggType != "" {
+			dims := make([]string, len(v.AggDims))
+			for i, d := range v.AggDims {
+				dims[i] = ExprString(d)
+			}
+			fmt.Fprintf(b, "let %s = %s[%s];\n", v.Name, v.AggType, strings.Join(dims, ", "))
+		} else {
+			fmt.Fprintf(b, "let %s = %s;\n", v.Name, ExprString(v.Value))
+		}
+	case *AssignStmt:
+		fmt.Fprintf(b, "%s = %s;\n", ExprString(v.Target), ExprString(v.Value))
+	case *IfStmt:
+		fmt.Fprintf(b, "if %s ", ExprString(v.Cond))
+		formatBlock(b, v.Then, depth)
+		if v.Else != nil {
+			b.WriteString(" else ")
+			formatBlock(b, v.Else, depth)
+		}
+		b.WriteString("\n")
+	case *ForStmt:
+		fmt.Fprintf(b, "for %s in %s..%s ", v.Var, ExprString(v.From), ExprString(v.To))
+		formatBlock(b, v.Body, depth)
+		b.WriteString("\n")
+	case *ExprStmt:
+		fmt.Fprintf(b, "%s;\n", ExprString(v.X))
+	case *ReturnStmt:
+		if v.Value != nil {
+			fmt.Fprintf(b, "return %s;\n", ExprString(v.Value))
+		} else {
+			b.WriteString("return;\n")
+		}
+	default:
+		fmt.Fprintf(b, "/* unknown stmt %T */\n", s)
+	}
+}
+
+// ExprString renders one expression.
+func ExprString(e Expr) string {
+	switch v := e.(type) {
+	case *NumberLit:
+		if v.Text != "" {
+			return v.Text
+		}
+		return fmt.Sprint(v.Value)
+	case *VarRef:
+		return v.Name
+	case *PosRef:
+		return fmt.Sprintf("#%d", v.Dim)
+	case *FieldAccess:
+		if v.Index == nil {
+			return fmt.Sprintf("%s.%s", v.Base, v.Field)
+		}
+		idx := make([]string, len(v.Index))
+		for i, x := range v.Index {
+			idx[i] = ExprString(x)
+		}
+		return fmt.Sprintf("%s[%s].%s", v.Base, strings.Join(idx, ", "), v.Field)
+	case *BinaryExpr:
+		return fmt.Sprintf("(%s %s %s)", ExprString(v.L), v.Op, ExprString(v.R))
+	case *UnaryExpr:
+		return fmt.Sprintf("%s%s", v.Op, ExprString(v.X))
+	case *CallExpr:
+		args := make([]string, len(v.Args))
+		for i, a := range v.Args {
+			args[i] = ExprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", v.Callee, strings.Join(args, ", "))
+	case *ReduceExpr:
+		return fmt.Sprintf("reduce(%s, %s.%s)", v.Op, v.Base, v.Field)
+	default:
+		return fmt.Sprintf("/*%T*/", e)
+	}
+}

@@ -1,0 +1,118 @@
+// Package lang implements "cstar", the C**-subset data-parallel language
+// this repository's compiler front end analyzes (paper §4.1). C** is a
+// large-grain data-parallel language based on C++; cstar keeps its
+// analysis-relevant core — Aggregate declarations, parallel functions
+// operating element-wise on an aggregate with #0/#1 element positions, and
+// a sequential main with loops and parallel-function calls — behind a
+// small, unambiguous grammar.
+package lang
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER
+	POS // #0 or #1
+
+	// Keywords.
+	KwAggregate
+	KwParallel
+	KwFunc
+	KwFloat
+	KwLet
+	KwFor
+	KwIn
+	KwIf
+	KwElse
+	KwReturn
+	KwReduce
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Comma
+	Semicolon
+	Colon
+	Dot
+	DotDot
+	Assign
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Lt
+	Gt
+	Le
+	Ge
+	EqEq
+	NotEq
+	AndAnd
+	OrOr
+	Not
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", NUMBER: "number", POS: "#position",
+	KwAggregate: "aggregate", KwParallel: "parallel", KwFunc: "func",
+	KwFloat: "float", KwLet: "let", KwFor: "for", KwIn: "in", KwIf: "if",
+	KwElse: "else", KwReturn: "return", KwReduce: "reduce",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBracket: "[", RBracket: "]", Comma: ",", Semicolon: ";", Colon: ":",
+	Dot: ".", DotDot: "..", Assign: "=", Plus: "+", Minus: "-", Star: "*",
+	Slash: "/", Percent: "%", Lt: "<", Gt: ">", Le: "<=", Ge: ">=",
+	EqEq: "==", NotEq: "!=", AndAnd: "&&", OrOr: "||", Not: "!",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+var keywords = map[string]Kind{
+	"aggregate": KwAggregate,
+	"parallel":  KwParallel,
+	"func":      KwFunc,
+	"float":     KwFloat,
+	"let":       KwLet,
+	"for":       KwFor,
+	"in":        KwIn,
+	"if":        KwIf,
+	"else":      KwElse,
+	"return":    KwReturn,
+	"reduce":    KwReduce,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexeme.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, NUMBER, POS:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

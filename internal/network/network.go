@@ -1,0 +1,120 @@
+// Package network models the interconnect and software messaging costs of
+// the simulated machine.
+//
+// The original system ran on a 32-node Thinking Machines CM-5 under
+// Blizzard, a software fine-grain DSM whose remote data accesses averaged
+// roughly 200 microseconds (paper §5.4). All costs here are software
+// costs — active-message send/dispatch overheads, protocol-handler
+// occupancy, and per-byte copy costs — plus a small wire latency, which is
+// what dominated on that platform.
+package network
+
+import "presto/internal/sim"
+
+// Params describes one interconnect/software-messaging configuration.
+// All times are virtual (sim.Time).
+type Params struct {
+	// SendOverhead is the sender-side CPU occupancy to compose and inject
+	// one message (active-message send, protocol send handler).
+	SendOverhead sim.Time
+	// RecvOverhead is the receiver-side dispatch occupancy charged by the
+	// protocol-handler loop for every message before handling it.
+	RecvOverhead sim.Time
+	// WireLatency is the network transit time for a minimal message.
+	WireLatency sim.Time
+	// PerByteSend is the sender-side copy cost per payload byte.
+	PerByteSend sim.Time
+	// PerByteWire is the network occupancy per payload byte.
+	PerByteWire sim.Time
+	// LocalDelay is the delivery delay for a node messaging itself (a
+	// compute processor invoking its own protocol handler).
+	LocalDelay sim.Time
+	// LocalOverhead is the CPU occupancy for posting such a local message.
+	LocalOverhead sim.Time
+	// FaultDetect is the cost of detecting an access fault and vectoring
+	// to the user-level handler (Tempest fine-grain access control).
+	FaultDetect sim.Time
+	// HeaderBytes is the fixed wire size of a protocol message.
+	HeaderBytes int
+	// BarrierLatency is the cost of one global barrier once all
+	// participants have arrived (e.g. a log-depth combining tree).
+	BarrierLatency sim.Time
+}
+
+// CM5 returns parameters calibrated to Blizzard on the CM-5: a simple
+// two-hop read miss costs ~110us and a three-hop (recall) miss ~190us,
+// bracketing the paper's reported 200us average remote access latency.
+func CM5() *Params {
+	return &Params{
+		SendOverhead:   20 * sim.Microsecond,
+		RecvOverhead:   25 * sim.Microsecond,
+		WireLatency:    6 * sim.Microsecond,
+		PerByteSend:    25 * sim.Nanosecond, // ~40 MB/s copy
+		PerByteWire:    33 * sim.Nanosecond, // ~30 MB/s effective wire
+		LocalDelay:     2 * sim.Microsecond,
+		LocalOverhead:  3 * sim.Microsecond,
+		FaultDetect:    5 * sim.Microsecond,
+		HeaderBytes:    16,
+		BarrierLatency: 40 * sim.Microsecond,
+	}
+}
+
+// NOW returns parameters for a mid-90s network of workstations without
+// hardware shared-memory support (paper §5.4: the predictive protocol is
+// "beneficial on ... networks of workstations"): higher per-message
+// software costs and wire latency than the CM-5.
+func NOW() *Params {
+	return &Params{
+		SendOverhead:   60 * sim.Microsecond,
+		RecvOverhead:   70 * sim.Microsecond,
+		WireLatency:    80 * sim.Microsecond,
+		PerByteSend:    50 * sim.Nanosecond,
+		PerByteWire:    100 * sim.Nanosecond, // ~10 MB/s Ethernet-class
+		LocalDelay:     2 * sim.Microsecond,
+		LocalOverhead:  3 * sim.Microsecond,
+		FaultDetect:    8 * sim.Microsecond,
+		HeaderBytes:    32,
+		BarrierLatency: 400 * sim.Microsecond,
+	}
+}
+
+// HardwareDSM returns parameters for a hardware-assisted DSM (paper §5.4:
+// "the tradeoff is likely to be different for shared-memory
+// multiprocessors or hardware-assisted DSMs, which have smaller remote
+// access latencies"): protocol handling in hardware, microsecond-scale
+// misses.
+func HardwareDSM() *Params {
+	return &Params{
+		SendOverhead:   400 * sim.Nanosecond,
+		RecvOverhead:   500 * sim.Nanosecond,
+		WireLatency:    600 * sim.Nanosecond,
+		PerByteSend:    2 * sim.Nanosecond,
+		PerByteWire:    3 * sim.Nanosecond,
+		LocalDelay:     200 * sim.Nanosecond,
+		LocalOverhead:  100 * sim.Nanosecond,
+		FaultDetect:    300 * sim.Nanosecond,
+		HeaderBytes:    16,
+		BarrierLatency: 5 * sim.Microsecond,
+	}
+}
+
+// SendCost returns the sender CPU occupancy for a message with the given
+// payload size.
+func (p *Params) SendCost(payload int) sim.Time {
+	return p.SendOverhead + sim.Time(payload)*p.PerByteSend
+}
+
+// TransitDelay returns the in-flight delay for a message with the given
+// payload size (header included).
+func (p *Params) TransitDelay(payload int) sim.Time {
+	return p.WireLatency + sim.Time(payload+p.HeaderBytes)*p.PerByteWire
+}
+
+// RemoteReadMiss2Hop estimates the latency of a simple two-hop read miss
+// for a block of the given size. Used for calibration tests and docs, not
+// by the protocols themselves.
+func (p *Params) RemoteReadMiss2Hop(block int) sim.Time {
+	req := p.FaultDetect + p.SendCost(0) + p.TransitDelay(0) + p.RecvOverhead
+	rep := p.SendCost(block) + p.TransitDelay(block) + p.RecvOverhead
+	return req + rep
+}

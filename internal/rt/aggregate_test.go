@@ -1,0 +1,156 @@
+package rt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGrid2DRowBlockGeometry(t *testing.T) {
+	m := New(Config{Nodes: 4, BlockSize: 32})
+	g := m.NewGrid2D("g", 16, 8, 2, RowBlock)
+	if g.Owner(0, 0) != 0 || g.Owner(15, 7) != 3 || g.Owner(7, 3) != 1 {
+		t.Fatalf("owners: %d %d %d", g.Owner(0, 0), g.Owner(15, 7), g.Owner(7, 3))
+	}
+	// Address arithmetic: row-major, 16-byte elements.
+	a00 := g.At(0, 0, 0)
+	a01 := g.At(0, 1, 0)
+	a10 := g.At(1, 0, 0)
+	if a01.Offset()-a00.Offset() != 16 {
+		t.Fatalf("column stride = %d", a01.Offset()-a00.Offset())
+	}
+	if a10.Offset()-a00.Offset() != 8*16 {
+		t.Fatalf("row stride = %d", a10.Offset()-a00.Offset())
+	}
+	if g.At(0, 0, 1).Offset()-a00.Offset() != 8 {
+		t.Fatal("field stride")
+	}
+	// Home of a block matches the owner of its first element.
+	b := m.AS.BlockOf(g.At(8, 0, 0))
+	if m.AS.HomeOf(b) != g.Owner(8, 0) {
+		t.Fatal("block home mismatch")
+	}
+}
+
+func TestGrid2DTiledGeometry(t *testing.T) {
+	m := New(Config{Nodes: 4, BlockSize: 32})
+	g := m.NewGrid2D("g", 8, 8, 1, Tiled)
+	// 4 nodes factor as 2x2 tiles of 4x4.
+	cases := map[[2]int]int{
+		{0, 0}: 0, {0, 7}: 1, {7, 0}: 2, {7, 7}: 3, {3, 3}: 0, {4, 4}: 3,
+	}
+	for pos, want := range cases {
+		if got := g.Owner(pos[0], pos[1]); got != want {
+			t.Fatalf("owner(%d,%d) = %d, want %d", pos[0], pos[1], got, want)
+		}
+	}
+}
+
+func TestGridTileRanges(t *testing.T) {
+	m := New(Config{Nodes: 4, BlockSize: 32})
+	g := m.NewGrid2D("g", 8, 8, 1, Tiled)
+	if err := m.Run(func(w *Worker) {
+		rlo, rhi, clo, chi := g.MyTile(w)
+		// Every cell in the tile must be owned by this worker.
+		for i := rlo; i < rhi; i++ {
+			for j := clo; j < chi; j++ {
+				if g.Owner(i, j) != w.ID {
+					t.Errorf("worker %d tile contains cell (%d,%d) owned by %d", w.ID, i, j, g.Owner(i, j))
+				}
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MyRows/MyRange partition exactly (disjoint cover).
+func TestPartitionProperty(t *testing.T) {
+	f := func(rawN uint8, rawNodes uint8) bool {
+		n := int(rawN)%200 + 1
+		nodes := int(rawNodes)%8 + 1
+		m := New(Config{Nodes: nodes, BlockSize: 32})
+		arr := m.NewArray1D("a", n, 1, false)
+		covered := make([]int, n)
+		ok := true
+		if err := m.Run(func(w *Worker) {
+			lo, hi := arr.MyRange(w)
+			for i := lo; i < hi; i++ {
+				covered[i]++
+				if arr.Owner(i) != w.ID {
+					ok = false
+				}
+			}
+		}); err != nil {
+			return false
+		}
+		for _, c := range covered {
+			if c != 1 {
+				return false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArray1DPadding(t *testing.T) {
+	m := New(Config{Nodes: 2, BlockSize: 64})
+	padded := m.NewArray1D("p", 4, 1, true)
+	dense := m.NewArray1D("d", 4, 1, false)
+	if padded.At(1, 0).Offset()-padded.At(0, 0).Offset() != 64 {
+		t.Fatal("padded stride")
+	}
+	if dense.At(1, 0).Offset()-dense.At(0, 0).Offset() != 8 {
+		t.Fatal("dense stride")
+	}
+}
+
+func TestArenaAllocationAndReset(t *testing.T) {
+	m := New(Config{Nodes: 2, BlockSize: 32})
+	a := m.NewArena("arena", 4096)
+	p1 := a.Alloc(0, 24, false)
+	p2 := a.Alloc(0, 8, false)
+	if p2.Offset()-p1.Offset() != 24 {
+		t.Fatalf("alloc packing: %d", p2.Offset()-p1.Offset())
+	}
+	p3 := a.Alloc(0, 16, true)
+	if p3.Offset()%32 != 0 {
+		t.Fatalf("block-aligned alloc at %d", p3.Offset())
+	}
+	// Node 1 allocations land in node 1's segment (block-disjoint homes).
+	q := a.Alloc(1, 8, false)
+	if m.AS.HomeOf(q) != 1 || m.AS.HomeOf(p1) != 0 {
+		t.Fatal("arena homes wrong")
+	}
+	used := a.Used(0)
+	if used == 0 {
+		t.Fatal("no usage tracked")
+	}
+	a.ResetNode(0)
+	if a.Used(0) != 0 || a.Used(1) == 0 {
+		t.Fatal("ResetNode scope wrong")
+	}
+	// Deterministic reuse: same sequence yields same addresses.
+	if r := a.Alloc(0, 24, false); r != p1 {
+		t.Fatalf("reused alloc at %#x, want %#x", uint64(r), uint64(p1))
+	}
+	a.Reset()
+	if a.Used(1) != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestArenaExhaustionPanics(t *testing.T) {
+	m := New(Config{Nodes: 2, BlockSize: 32})
+	a := m.NewArena("tiny", 128)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected exhaustion panic")
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		a.Alloc(0, 32, false)
+	}
+}

@@ -1,0 +1,276 @@
+// Package rt is the data-parallel runtime of the simulated machine: it
+// plays the role C**'s runtime system played on Blizzard. It builds a
+// machine of N nodes (each with a compute and a protocol processor),
+// distributes aggregate data over the shared address space (block,
+// row-block and tiled distributions, paper §4.1), executes SPMD programs
+// with compiler-placed parallel-phase directives, and accounts each node's
+// execution time into the paper's three buckets: remote-data wait,
+// predictive-protocol (pre-send), and compute+synchronization.
+package rt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"presto/internal/core"
+	"presto/internal/memory"
+	"presto/internal/network"
+	"presto/internal/sim"
+	"presto/internal/stache"
+	"presto/internal/tempest"
+	"presto/internal/trace"
+	"presto/internal/update"
+)
+
+// ProtocolKind selects the coherence protocol a machine runs.
+type ProtocolKind string
+
+const (
+	// ProtoStache is the default write-invalidate protocol (the paper's
+	// unoptimized configuration).
+	ProtoStache ProtocolKind = "stache"
+	// ProtoPredictive is the paper's predictive protocol.
+	ProtoPredictive ProtocolKind = "predictive"
+	// ProtoUpdate is the write-update protocol used by the hand-optimized
+	// SPMD baseline (Falsafi et al.).
+	ProtoUpdate ProtocolKind = "update"
+)
+
+// Config describes one machine configuration.
+type Config struct {
+	// Nodes is the processor count (the paper used 32).
+	Nodes int
+	// BlockSize is the cache-block size in bytes (32–1024 in the paper).
+	BlockSize int
+	// Protocol selects the coherence protocol (default ProtoStache).
+	Protocol ProtocolKind
+	// Net overrides the interconnect cost model (default network.CM5).
+	Net *network.Params
+	// NoCoalesce disables pre-send bulk coalescing (ablation).
+	NoCoalesce bool
+	// AnticipateConflicts enables the conflict-anticipation extension.
+	AnticipateConflicts bool
+	// Trace, when positive, attaches a shared protocol-event ring of that
+	// capacity to every node (debugging/tests).
+	Trace int
+	// MaxEvents, when positive, bounds simulation events (livelock guard).
+	MaxEvents int64
+	// FlushEvery, when positive, makes the predictive protocol rebuild
+	// each phase schedule every FlushEvery-th pre-send (deletion-heavy
+	// patterns, paper §3.3).
+	FlushEvery int
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Nodes == 0 {
+		out.Nodes = 32
+	}
+	if out.BlockSize == 0 {
+		out.BlockSize = 32
+	}
+	if out.Protocol == "" {
+		out.Protocol = ProtoStache
+	}
+	if out.Net == nil {
+		out.Net = network.CM5()
+	}
+	return out
+}
+
+// Machine is one simulated DSM machine instance. Allocate aggregates
+// first, then call Run exactly once.
+type Machine struct {
+	Cfg    Config
+	Kernel *sim.Kernel
+	AS     *memory.AddressSpace
+	Proto  tempest.Protocol
+	Nodes  []*tempest.Node
+
+	// Ring is the shared protocol trace when Cfg.Trace > 0.
+	Ring *trace.Ring
+
+	barrier  *sim.Barrier
+	redBufs  [2][]float64
+	combBufs [][]float64
+	ends     []sim.Time
+	ran      bool
+}
+
+// New builds a machine for the given configuration.
+func New(cfg Config) *Machine {
+	c := cfg.withDefaults()
+	m := &Machine{
+		Cfg:    c,
+		Kernel: sim.NewKernel(),
+		AS:     memory.NewAddressSpace(c.Nodes, c.BlockSize),
+	}
+	switch c.Protocol {
+	case ProtoStache:
+		m.Proto = stache.New()
+	case ProtoPredictive:
+		p := core.New()
+		p.Coalesce = !c.NoCoalesce
+		p.AnticipateConflicts = c.AnticipateConflicts
+		p.FlushEvery = c.FlushEvery
+		m.Proto = p
+	case ProtoUpdate:
+		m.Proto = update.New()
+	default:
+		panic(fmt.Sprintf("rt: unknown protocol %q", c.Protocol))
+	}
+	m.barrier = m.Kernel.NewBarrier(c.Nodes, c.Net.BarrierLatency)
+	return m
+}
+
+// Program is the SPMD body run by every node's compute processor.
+type Program func(w *Worker)
+
+// Run builds the nodes over the allocated regions, spawns the protocol
+// and compute processors, and runs the simulation to completion.
+func (m *Machine) Run(prog Program) error {
+	if m.ran {
+		return fmt.Errorf("rt: machine already ran")
+	}
+	m.ran = true
+	c := m.Cfg
+	m.Kernel.MaxEvents = c.MaxEvents
+	var ring *trace.Ring
+	if c.Trace > 0 {
+		ring = trace.NewRing(c.Trace)
+		m.Ring = ring
+	}
+	m.Nodes = make([]*tempest.Node, c.Nodes)
+	for i := 0; i < c.Nodes; i++ {
+		m.Nodes[i] = tempest.NewNode(i, m.AS, c.Net, m.Proto)
+		m.Nodes[i].Trace = ring
+	}
+	for _, n := range m.Nodes {
+		n.Peers = m.Nodes
+		m.Proto.Init(n)
+	}
+	for _, n := range m.Nodes {
+		n := n
+		n.ProtoProc = m.Kernel.Spawn(fmt.Sprintf("proto%d", n.ID), n.ProtocolLoop)
+		n.ProtoProc.SetDaemon(true)
+	}
+	m.redBufs[0] = make([]float64, c.Nodes)
+	m.redBufs[1] = make([]float64, c.Nodes)
+	m.ends = make([]sim.Time, c.Nodes)
+	for _, n := range m.Nodes {
+		n := n
+		w := &Worker{M: m, Node: n, ID: n.ID}
+		n.Compute = m.Kernel.Spawn(fmt.Sprintf("compute%d", n.ID), func(p *sim.Proc) {
+			w.P = p
+			prog(w)
+			m.ends[n.ID] = p.Now()
+		})
+	}
+	return m.Kernel.Run()
+}
+
+// Elapsed returns the machine's execution time: the latest compute
+// processor completion across nodes.
+func (m *Machine) Elapsed() sim.Time {
+	var max sim.Time
+	for _, e := range m.ends {
+		if e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// Breakdown is the machine-level execution-time decomposition used by the
+// paper's figures. Bucket values are averages over nodes, so a balanced
+// run's buckets sum to roughly Elapsed.
+type Breakdown struct {
+	Elapsed    sim.Time
+	Compute    sim.Time
+	RemoteWait sim.Time
+	Presend    sim.Time
+	Sync       sim.Time
+}
+
+// ComputeSynch returns the combined compute+synchronization bucket
+// (the paper's figures merge these).
+func (b Breakdown) ComputeSynch() sim.Time { return b.Compute + b.Sync }
+
+// Breakdown aggregates per-node stats into the figure buckets.
+func (m *Machine) Breakdown() Breakdown {
+	var b Breakdown
+	for _, n := range m.Nodes {
+		b.Compute += n.Stats.Compute
+		b.RemoteWait += n.Stats.RemoteWait
+		b.Presend += n.Stats.Presend
+		b.Sync += n.Stats.Sync
+	}
+	nn := sim.Time(len(m.Nodes))
+	if nn > 0 {
+		b.Compute /= nn
+		b.RemoteWait /= nn
+		b.Presend /= nn
+		b.Sync /= nn
+	}
+	b.Elapsed = m.Elapsed()
+	return b
+}
+
+// Counters aggregates protocol event counters across nodes.
+type Counters struct {
+	ReadFaults, WriteFaults       int64
+	MsgsSent, BytesSent           int64
+	PresendsSent, PresendsSkipped int64
+	BulkMsgs, Conflicts           int64
+}
+
+// Counters sums the per-node counters.
+func (m *Machine) Counters() Counters {
+	var c Counters
+	for _, n := range m.Nodes {
+		c.ReadFaults += n.Stats.ReadFaults
+		c.WriteFaults += n.Stats.WriteFaults
+		c.MsgsSent += n.Stats.MsgsSent
+		c.BytesSent += n.Stats.BytesSent
+		c.PresendsSent += n.Stats.PresendsSent
+		c.PresendsSkipped += n.Stats.PresendsSkipped
+		c.BulkMsgs += n.Stats.BulkMsgs
+		c.Conflicts += n.Stats.Conflicts
+	}
+	return c
+}
+
+// PerNode returns each node's time breakdown (imbalance analysis: the
+// paper notes Adaptive's shared-data wait is distributed unevenly, §5.1).
+func (m *Machine) PerNode() []Breakdown {
+	out := make([]Breakdown, len(m.Nodes))
+	for i, n := range m.Nodes {
+		out[i] = Breakdown{
+			Elapsed:    m.ends[i],
+			Compute:    n.Stats.Compute,
+			RemoteWait: n.Stats.RemoteWait,
+			Presend:    n.Stats.Presend,
+			Sync:       n.Stats.Sync,
+		}
+	}
+	return out
+}
+
+// SnapshotF64 reads a shared value after the run completes, consulting the
+// directory to find the node holding the current copy (validation only —
+// not part of the simulated execution).
+func (m *Machine) SnapshotF64(a memory.Addr) float64 {
+	b := m.AS.BlockOf(a)
+	home := m.Nodes[m.AS.HomeOf(a)]
+	src := home.Store
+	if e := home.Dir.Lookup(b); e != nil && e.State == tempest.DirRemoteExcl {
+		src = m.Nodes[e.Owner].Store
+	}
+	l := src.Line(b)
+	if l == nil {
+		panic(fmt.Sprintf("rt: snapshot of absent block %#x", uint64(b)))
+	}
+	off := a.Offset() & int64(m.Cfg.BlockSize-1)
+	return math.Float64frombits(binary.LittleEndian.Uint64(l.Data[off:]))
+}

@@ -1,0 +1,192 @@
+// Package schedule implements the communication schedules built by the
+// predictive protocol (paper §3.3).
+//
+// A schedule is kept per compiler-identified parallel phase, at each home
+// node, and records — for every cache block that required communication
+// due to a faulting access — whether the block was read or written and by
+// which processors. Blocks both read and written within one phase are
+// marked as conflicts (false sharing or conflicting parallel tasks) and
+// are not pre-sent. Schedules grow incrementally: requests not anticipated
+// by the pre-send phase fault as usual and extend the schedule for
+// subsequent iterations; deletions are not tracked (a Flush rebuilds from
+// scratch).
+package schedule
+
+import (
+	"sort"
+
+	"presto/internal/memory"
+	"presto/internal/tempest"
+)
+
+// Mode classifies a scheduled block within one phase.
+type Mode uint8
+
+const (
+	// ModeRead blocks were only read remotely in the phase; the pre-send
+	// phase forwards read-only copies to all recorded readers.
+	ModeRead Mode = iota
+	// ModeWrite blocks were only written in the phase; the pre-send phase
+	// invalidates stale copies and forwards a writable copy to the
+	// recorded writer.
+	ModeWrite
+	// ModeConflict blocks were both read and written within the phase;
+	// they are recorded but not pre-sent (paper §3.4).
+	ModeConflict
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeRead:
+		return "read"
+	case ModeWrite:
+		return "write"
+	case ModeConflict:
+		return "conflict"
+	}
+	return "mode?"
+}
+
+// Entry is one block's record within a phase schedule.
+type Entry struct {
+	Block   memory.Block
+	Mode    Mode
+	Readers tempest.Bitset // recorded readers (ModeRead)
+	Writer  int            // last recorded writer (ModeWrite)
+
+	// FirstMode, FirstReaders and FirstWriter freeze the entry as it was
+	// before it became a conflict — the paper's suggested (future work)
+	// policy of anticipating the first stable state.
+	FirstMode    Mode
+	FirstReaders tempest.Bitset
+	FirstWriter  int
+}
+
+// Phase is the incremental communication schedule of one parallel phase
+// at one home node.
+type Phase struct {
+	ID      int
+	entries map[memory.Block]*Entry
+}
+
+// NewPhase returns an empty schedule for the given phase ID.
+func NewPhase(id int) *Phase {
+	return &Phase{ID: id, entries: make(map[memory.Block]*Entry)}
+}
+
+// Len reports the number of scheduled blocks.
+func (p *Phase) Len() int { return len(p.entries) }
+
+// Empty reports whether the schedule has no entries.
+func (p *Phase) Empty() bool { return len(p.entries) == 0 }
+
+// Lookup returns the entry for b, or nil.
+func (p *Phase) Lookup(b memory.Block) *Entry { return p.entries[b] }
+
+// RecordRead notes a faulting read of b by reader. It returns true when
+// this record turned the entry into a conflict.
+func (p *Phase) RecordRead(b memory.Block, reader int) (becameConflict bool) {
+	e := p.entries[b]
+	if e == nil {
+		e = &Entry{Block: b, Mode: ModeRead, Writer: -1, FirstWriter: -1}
+		e.Readers.Add(reader)
+		p.entries[b] = e
+		return false
+	}
+	switch e.Mode {
+	case ModeRead:
+		e.Readers.Add(reader)
+	case ModeWrite:
+		e.freeze()
+		e.Mode = ModeConflict
+		return true
+	}
+	return false
+}
+
+// RecordWrite notes a faulting write of b by writer. It returns true when
+// this record turned the entry into a conflict.
+func (p *Phase) RecordWrite(b memory.Block, writer int) (becameConflict bool) {
+	e := p.entries[b]
+	if e == nil {
+		p.entries[b] = &Entry{Block: b, Mode: ModeWrite, Writer: writer, FirstWriter: -1}
+		return false
+	}
+	switch e.Mode {
+	case ModeWrite:
+		e.Writer = writer // migratory: last writer wins
+	case ModeRead:
+		e.freeze()
+		e.Mode = ModeConflict
+		return true
+	}
+	return false
+}
+
+// freeze captures the pre-conflict stable state.
+func (e *Entry) freeze() {
+	e.FirstMode = e.Mode
+	e.FirstReaders = e.Readers
+	e.FirstWriter = e.Writer
+}
+
+// Entries returns the schedule's entries sorted by block address — the
+// deterministic pre-send walk order, which also makes contiguous blocks
+// adjacent for coalescing.
+func (p *Phase) Entries() []*Entry {
+	out := make([]*Entry, 0, len(p.entries))
+	for _, e := range p.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Block < out[j].Block })
+	return out
+}
+
+// Conflicts reports the number of conflict entries.
+func (p *Phase) Conflicts() int {
+	c := 0
+	for _, e := range p.entries {
+		if e.Mode == ModeConflict {
+			c++
+		}
+	}
+	return c
+}
+
+// Table holds one home node's schedules for all phases.
+type Table struct {
+	phases map[int]*Phase
+}
+
+// NewTable returns an empty schedule table.
+func NewTable() *Table { return &Table{phases: make(map[int]*Phase)} }
+
+// Phase returns the schedule for id, creating it if absent.
+func (t *Table) Phase(id int) *Phase {
+	p := t.phases[id]
+	if p == nil {
+		p = NewPhase(id)
+		t.phases[id] = p
+	}
+	return p
+}
+
+// Lookup returns the schedule for id, or nil.
+func (t *Table) Lookup(id int) *Phase { return t.phases[id] }
+
+// Flush discards the schedule for phase id (it will be rebuilt
+// incrementally from faults) — the paper's remedy for patterns with many
+// deletions.
+func (t *Table) Flush(id int) { delete(t.phases, id) }
+
+// FlushAll discards every schedule.
+func (t *Table) FlushAll() { t.phases = make(map[int]*Phase) }
+
+// Blocks reports the total number of scheduled blocks across phases.
+func (t *Table) Blocks() int {
+	n := 0
+	for _, p := range t.phases {
+		n += p.Len()
+	}
+	return n
+}

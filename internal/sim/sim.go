@@ -1,0 +1,456 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel models a parallel machine in virtual time. Each simulated
+// activity is a Proc: a goroutine with a private virtual clock that
+// exchanges timestamped messages with other Procs and synchronizes at
+// barriers. The kernel serializes execution — exactly one Proc goroutine
+// runs at any real instant, and control is handed out in global
+// (timestamp, sequence) order — so simulations are fully deterministic and
+// need no locking in the simulated node state.
+//
+// A Proc advances its own clock with Advance (batched, without yielding to
+// the kernel); cross-Proc interaction happens only through timestamped
+// messages (Send/Recv) and barriers (Barrier.Wait). This discipline gives
+// causally correct virtual time for programs whose cross-Proc interactions
+// are message-mediated, which holds for the data-race-free phase-structured
+// programs this repository simulates.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is virtual time in nanoseconds.
+type Time int64
+
+// Common virtual-time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String formats a Time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// procState tracks what a Proc goroutine is currently doing.
+type procState int
+
+const (
+	stateNew procState = iota
+	stateRunnable
+	stateRunning
+	stateBlockedRecv
+	stateBlockedBarrier
+	stateSleeping
+	stateDone
+)
+
+func (s procState) String() string {
+	switch s {
+	case stateNew:
+		return "new"
+	case stateRunnable:
+		return "runnable"
+	case stateRunning:
+		return "running"
+	case stateBlockedRecv:
+		return "blocked-recv"
+	case stateBlockedBarrier:
+		return "blocked-barrier"
+	case stateSleeping:
+		return "sleeping"
+	case stateDone:
+		return "done"
+	}
+	return "unknown"
+}
+
+// Delivery is a message as received: payload plus provenance and the
+// virtual time at which it arrived at the destination.
+type Delivery struct {
+	At   Time  // arrival time at the destination
+	From *Proc // sending Proc (nil for kernel-injected messages)
+	Msg  any   // payload
+}
+
+// Proc is a simulated sequential activity with its own virtual clock.
+type Proc struct {
+	k      *Kernel
+	id     int
+	name   string
+	daemon bool
+
+	now     Time
+	state   procState
+	mailbox []Delivery // ordered by arrival (kernel delivers in time order)
+
+	resume chan struct{}
+	fn     func(*Proc)
+
+	err error // set if fn panicked
+}
+
+// ID returns the Proc's kernel-assigned identifier (dense, from 0).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the Proc's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the Proc's current virtual time. It may only be called from
+// the Proc's own goroutine.
+func (p *Proc) Now() Time { return p.now }
+
+// Advance adds d to the Proc's virtual clock without yielding to the
+// kernel. Negative durations are ignored.
+func (p *Proc) Advance(d Time) {
+	if d > 0 {
+		p.now += d
+	}
+}
+
+// event kinds processed by the kernel loop.
+type eventKind int
+
+const (
+	evResume  eventKind = iota // wake a blocked/new Proc at ev.at
+	evDeliver                  // deliver ev.msg to ev.proc at ev.at
+)
+
+type event struct {
+	at   Time
+	seq  uint64
+	kind eventKind
+	proc *Proc
+	from *Proc
+	msg  any
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) peek() *event   { return h[0] }
+func (h *eventHeap) pop() *event   { return heap.Pop(h).(*event) }
+func (h *eventHeap) push(e *event) { heap.Push(h, e) }
+
+// Kernel owns the event queue and all Procs of one simulation.
+type Kernel struct {
+	procs []*Proc
+	queue eventHeap
+	seq   uint64
+	park  chan struct{} // Procs signal here when yielding control
+
+	started  bool
+	finished bool
+	panicked any
+
+	// MaxEvents, when positive, bounds the number of events Run will
+	// process — a guard against protocol livelock in tests.
+	MaxEvents int64
+	processed int64
+}
+
+// NewKernel returns an empty simulation.
+func NewKernel() *Kernel {
+	return &Kernel{park: make(chan struct{})}
+}
+
+// Spawn registers a new Proc that will begin executing fn at virtual time 0
+// when Run is called (or immediately, if the simulation is already
+// running). Daemon Procs (see SetDaemon) do not prevent Run from
+// completing.
+func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		id:     len(k.procs),
+		name:   name,
+		state:  stateNew,
+		resume: make(chan struct{}),
+		fn:     fn,
+	}
+	k.procs = append(k.procs, p)
+	go p.run()
+	k.post(&event{at: 0, kind: evResume, proc: p})
+	return p
+}
+
+// SetDaemon marks p as a daemon: the simulation is considered complete when
+// every non-daemon Proc has finished, all remaining events have drained,
+// and every daemon is blocked waiting for messages. Protocol-handler loops
+// are daemons.
+func (p *Proc) SetDaemon(d bool) { p.daemon = d }
+
+func (p *Proc) run() {
+	<-p.resume
+	defer func() {
+		if r := recover(); r != nil {
+			p.err = fmt.Errorf("proc %q panicked: %v", p.name, r)
+			p.k.panicked = r
+		}
+		p.state = stateDone
+		p.k.park <- struct{}{}
+	}()
+	p.fn(p)
+}
+
+func (k *Kernel) post(e *event) {
+	e.seq = k.seq
+	k.seq++
+	k.queue.push(e)
+}
+
+// activate hands control to p and blocks until p yields back.
+func (k *Kernel) activate(p *Proc) {
+	p.state = stateRunning
+	p.resume <- struct{}{}
+	<-k.park
+}
+
+// yield returns control from a Proc goroutine to the kernel and blocks
+// until the kernel reactivates the Proc.
+func (p *Proc) yield() {
+	p.k.park <- struct{}{}
+	<-p.resume
+}
+
+// Send schedules delivery of msg to dst at p.Now()+delay. The sender's own
+// clock is not advanced; model sender-side occupancy with Advance before
+// calling Send. Delay must be non-negative.
+func (p *Proc) Send(dst *Proc, msg any, delay Time) {
+	if delay < 0 {
+		panic("sim: negative send delay")
+	}
+	if dst == nil {
+		panic("sim: send to nil proc")
+	}
+	p.k.post(&event{at: p.now + delay, kind: evDeliver, proc: dst, from: p, msg: msg})
+}
+
+// SendAt schedules delivery of msg to dst at absolute virtual time at
+// (which must be >= the sender's current time).
+func (p *Proc) SendAt(dst *Proc, msg any, at Time) {
+	if at < p.now {
+		panic("sim: SendAt into the past")
+	}
+	p.k.post(&event{at: at, kind: evDeliver, proc: dst, from: p, msg: msg})
+}
+
+// Recv blocks until a message is available and returns the earliest one.
+// If the message arrived while the Proc was busy, the Proc's clock is
+// unchanged (the message waited); otherwise the clock advances to the
+// arrival time.
+func (p *Proc) Recv() Delivery {
+	for len(p.mailbox) == 0 {
+		p.state = stateBlockedRecv
+		p.yield()
+	}
+	d := p.mailbox[0]
+	copy(p.mailbox, p.mailbox[1:])
+	p.mailbox = p.mailbox[:len(p.mailbox)-1]
+	if d.At > p.now {
+		p.now = d.At
+	}
+	return d
+}
+
+// TryRecv returns the earliest pending message, if any, without blocking.
+func (p *Proc) TryRecv() (Delivery, bool) {
+	if len(p.mailbox) == 0 {
+		return Delivery{}, false
+	}
+	d := p.mailbox[0]
+	copy(p.mailbox, p.mailbox[1:])
+	p.mailbox = p.mailbox[:len(p.mailbox)-1]
+	if d.At > p.now {
+		p.now = d.At
+	}
+	return d, true
+}
+
+// Pending reports the number of messages waiting in the Proc's mailbox.
+func (p *Proc) Pending() int { return len(p.mailbox) }
+
+// Sleep blocks the Proc until its clock reaches now+d, letting other
+// (earlier) events run meanwhile.
+func (p *Proc) Sleep(d Time) {
+	if d <= 0 {
+		return
+	}
+	p.k.post(&event{at: p.now + d, kind: evResume, proc: p})
+	p.state = stateSleeping // deliveries queue but do not wake a sleeper
+	p.yield()
+}
+
+// Barrier synchronizes a fixed group of Procs. All participants block in
+// Wait until the last arrives; every participant then resumes at
+// max(arrival times) + Cost.
+type Barrier struct {
+	k    *Kernel
+	n    int
+	cost Time
+
+	count   int
+	maxAt   Time
+	waiters []*Proc
+	epoch   uint64
+}
+
+// NewBarrier creates a barrier for n participants with the given per-use
+// synchronization cost (e.g. a log-tree of message latencies).
+func (k *Kernel) NewBarrier(n int, cost Time) *Barrier {
+	if n <= 0 {
+		panic("sim: barrier with n <= 0")
+	}
+	return &Barrier{k: k, n: n, cost: cost}
+}
+
+// Wait enters the barrier and returns the virtual time this Proc spent
+// waiting for the release (including the barrier cost).
+func (p *Proc) Wait(b *Barrier) Time {
+	if b.k != p.k {
+		panic("sim: barrier from a different kernel")
+	}
+	arrive := p.now
+	b.count++
+	if arrive > b.maxAt {
+		b.maxAt = arrive
+	}
+	if b.count < b.n {
+		b.waiters = append(b.waiters, p)
+		p.state = stateBlockedBarrier
+		p.yield()
+		return p.now - arrive
+	}
+	// Last arrival: release everyone (including self) at maxAt+cost.
+	release := b.maxAt + b.cost
+	for _, w := range b.waiters {
+		p.k.post(&event{at: release, kind: evResume, proc: w})
+	}
+	p.k.post(&event{at: release, kind: evResume, proc: p})
+	b.count = 0
+	b.maxAt = 0
+	b.waiters = b.waiters[:0]
+	b.epoch++
+	p.state = stateBlockedBarrier
+	p.yield()
+	return p.now - arrive
+}
+
+// RunawayError reports a simulation stopped by the MaxEvents guard
+// (almost always a protocol livelock).
+type RunawayError struct {
+	Events int64
+	At     Time
+}
+
+func (e *RunawayError) Error() string {
+	return fmt.Sprintf("sim: runaway: %d events processed, virtual time %v", e.Events, e.At)
+}
+
+// Processed reports how many events Run has handled so far.
+func (k *Kernel) Processed() int64 { return k.processed }
+
+// DeadlockError reports a simulation that stopped with blocked non-daemon
+// Procs and no pending events.
+type DeadlockError struct {
+	Blocked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return "sim: deadlock; blocked procs: " + strings.Join(e.Blocked, ", ")
+}
+
+// Run executes the simulation until every non-daemon Proc has finished and
+// the event queue has drained. It returns a DeadlockError if non-daemon
+// Procs remain blocked with no events pending, or the panic value if a
+// Proc panicked.
+func (k *Kernel) Run() error {
+	if k.finished {
+		return fmt.Errorf("sim: kernel already ran")
+	}
+	heap.Init(&k.queue)
+	for len(k.queue) > 0 {
+		if k.MaxEvents > 0 && k.processed >= k.MaxEvents {
+			k.finished = true
+			return &RunawayError{Events: k.processed, At: k.queue.peek().at}
+		}
+		k.processed++
+		e := k.queue.pop()
+		p := e.proc
+		if p.state == stateDone {
+			continue
+		}
+		switch e.kind {
+		case evResume:
+			if p.state == stateRunning {
+				panic("sim: resume of running proc")
+			}
+			if e.at > p.now {
+				p.now = e.at
+			}
+			k.activate(p)
+		case evDeliver:
+			p.mailbox = append(p.mailbox, Delivery{At: e.at, From: e.from, Msg: e.msg})
+			if p.state == stateBlockedRecv {
+				k.activate(p)
+			}
+		}
+		if k.panicked != nil {
+			k.finished = true
+			panic(k.panicked)
+		}
+	}
+	k.finished = true
+	var blocked []string
+	for _, p := range k.procs {
+		if p.state == stateDone {
+			continue
+		}
+		if p.daemon && p.state == stateBlockedRecv {
+			continue
+		}
+		blocked = append(blocked, fmt.Sprintf("%s(%s)", p.name, p.state))
+	}
+	if len(blocked) > 0 {
+		sort.Strings(blocked)
+		return &DeadlockError{Blocked: blocked}
+	}
+	return nil
+}
+
+// Procs returns all Procs registered with the kernel, in spawn order.
+func (k *Kernel) Procs() []*Proc { return k.procs }

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRunawayGuard(t *testing.T) {
+	k := NewKernel()
+	k.MaxEvents = 50
+	a, b := make(chan *Proc, 1), make(chan *Proc, 1)
+	pa := k.Spawn("a", func(p *Proc) {
+		pb := <-b
+		for {
+			p.Send(pb, 1, Microsecond)
+			p.Recv()
+		}
+	})
+	pb := k.Spawn("b", func(p *Proc) {
+		pa := <-a
+		for {
+			p.Recv()
+			p.Send(pa, 1, Microsecond)
+		}
+	})
+	a <- pa
+	b <- pb
+	err := k.Run()
+	var re *RunawayError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RunawayError", err)
+	}
+	if re.Events < 50 {
+		t.Fatalf("events = %d", re.Events)
+	}
+	if !strings.Contains(re.Error(), "runaway") {
+		t.Fatalf("message = %q", re.Error())
+	}
+	if k.Processed() < 50 {
+		t.Fatalf("processed = %d", k.Processed())
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := map[Time]string{
+		500 * Nanosecond:       "500ns",
+		5 * Microsecond:        "5.000us",
+		1500 * Microsecond:     "1.500ms",
+		2*Second + Millisecond: "2.001s",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(in), got, want)
+		}
+	}
+	if s := (2 * Second).Seconds(); s != 2.0 {
+		t.Errorf("Seconds = %v", s)
+	}
+}
+
+func TestSendAtAndPastPanic(t *testing.T) {
+	k := NewKernel()
+	var arrival Time
+	dst := k.Spawn("dst", func(p *Proc) {
+		arrival = p.Recv().At
+	})
+	k.Spawn("src", func(p *Proc) {
+		p.Advance(10 * Microsecond)
+		p.SendAt(dst, 1, 25*Microsecond)
+		defer func() {
+			if recover() == nil {
+				t.Error("SendAt into the past did not panic")
+			}
+		}()
+		p.SendAt(dst, 2, 5*Microsecond)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if arrival != 25*Microsecond {
+		t.Fatalf("arrival = %v", arrival)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	k := NewKernel()
+	dst := k.Spawn("dst", func(p *Proc) { p.Recv() })
+	dst.SetDaemon(true)
+	k.Spawn("src", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative delay did not panic")
+			}
+		}()
+		p.Send(dst, 1, -1)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierAcrossManyRounds(t *testing.T) {
+	// Stress the barrier reuse with skewed arrival patterns.
+	k := NewKernel()
+	const n, rounds = 5, 20
+	b := k.NewBarrier(n, Microsecond)
+	ends := make([]Time, n)
+	for i := 0; i < n; i++ {
+		i := i
+		k.Spawn("w", func(p *Proc) {
+			for r := 0; r < rounds; r++ {
+				p.Advance(Time((i*7+r*3)%11+1) * Microsecond)
+				p.Wait(b)
+			}
+			ends[i] = p.Now()
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		if ends[i] != ends[0] {
+			t.Fatalf("desynchronized: %v", ends)
+		}
+	}
+}
+
+func TestProcIdentity(t *testing.T) {
+	k := NewKernel()
+	p1 := k.Spawn("alpha", func(p *Proc) {})
+	p2 := k.Spawn("beta", func(p *Proc) {})
+	if p1.ID() != 0 || p2.ID() != 1 {
+		t.Fatalf("ids = %d, %d", p1.ID(), p2.ID())
+	}
+	if p1.Name() != "alpha" || p2.Name() != "beta" {
+		t.Fatal("names wrong")
+	}
+	if len(k.Procs()) != 2 {
+		t.Fatal("procs list")
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroSleepIsNoop(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("p", func(p *Proc) {
+		p.Sleep(0)
+		p.Sleep(-5)
+		if p.Now() != 0 {
+			t.Errorf("clock moved: %v", p.Now())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

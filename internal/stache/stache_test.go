@@ -1,0 +1,285 @@
+package stache
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"presto/internal/memory"
+	"presto/internal/network"
+	"presto/internal/sim"
+	"presto/internal/tempest"
+)
+
+// rig builds one real Stache node (ID 0) and a scripted fake peer (ID 1)
+// whose "protocol processor" is driven by the test, so message orderings
+// — including overtaking races — can be forced exactly.
+type rig struct {
+	k     *sim.Kernel
+	as    *memory.AddressSpace
+	node  *tempest.Node // real node, runs Stache
+	peer  *tempest.Node // fake: only its ProtoProc mailbox is used
+	proto *Protocol
+}
+
+// newRig homes even blocks at the real node and odd blocks at the peer.
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	r := &rig{k: sim.NewKernel(), proto: New()}
+	r.as = memory.NewAddressSpace(2, 32)
+	r.as.NewRegion("r", 4096, func(b int64) int { return int(b % 2) })
+	r.node = tempest.NewNode(0, r.as, network.CM5(), r.proto)
+	r.peer = tempest.NewNode(1, r.as, network.CM5(), r.proto)
+	peers := []*tempest.Node{r.node, r.peer}
+	r.node.Peers = peers
+	r.peer.Peers = peers
+	r.proto.Init(r.node)
+	r.node.ProtoProc = r.k.Spawn("proto0", r.node.ProtocolLoop)
+	r.node.ProtoProc.SetDaemon(true)
+	return r
+}
+
+func f64bytes(vals ...float64) []byte {
+	b := make([]byte, 32)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(v))
+	}
+	return b
+}
+
+// remoteBlock returns a block homed at the fake peer.
+const remoteAddr = memory.Addr(32) // block index 1 -> home node 1
+
+func TestReadMissRoundTrip(t *testing.T) {
+	r := newRig(t)
+	var got float64
+	r.node.Compute = r.k.Spawn("compute", func(p *sim.Proc) {
+		got = r.node.ReadF64(p, remoteAddr)
+	})
+	r.peer.ProtoProc = r.k.Spawn("script", func(p *sim.Proc) {
+		d := p.Recv()
+		if m, ok := d.Msg.(tempest.MsgGetRO); !ok || m.Req != 0 {
+			t.Errorf("home got %T", d.Msg)
+		}
+		r.peer.Post(p, r.node, tempest.MsgDataRO{Block: remoteAddr, Data: f64bytes(7.5)})
+	})
+	r.peer.ProtoProc.SetDaemon(true)
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 7.5 {
+		t.Fatalf("read = %v", got)
+	}
+	if r.node.Store.Tag(remoteAddr) != memory.ReadOnly {
+		t.Fatalf("tag = %v", r.node.Store.Tag(remoteAddr))
+	}
+}
+
+// TestInvalOvertakesDataRO forces the invalidation to arrive before the
+// read-only grant it chases: the node must install the copy, let the
+// waiting read complete once, then invalidate and acknowledge (progress
+// guarantee).
+func TestInvalOvertakesDataRO(t *testing.T) {
+	r := newRig(t)
+	var got float64
+	r.node.Compute = r.k.Spawn("compute", func(p *sim.Proc) {
+		got = r.node.ReadF64(p, remoteAddr)
+	})
+	ackSeen := false
+	r.peer.ProtoProc = r.k.Spawn("script", func(p *sim.Proc) {
+		p.Recv() // GetRO
+		// Force overtaking: Inval lands strictly before DataRO.
+		base := p.Now()
+		p.SendAt(r.node.ProtoProc, tempest.MsgInval{Block: remoteAddr}, base+10*sim.Microsecond)
+		p.SendAt(r.node.ProtoProc, tempest.MsgDataRO{Block: remoteAddr, Data: f64bytes(3.25)}, base+20*sim.Microsecond)
+		d := p.Recv()
+		if m, ok := d.Msg.(tempest.MsgInvalAck); ok && m.From == 0 {
+			ackSeen = true
+		} else {
+			t.Errorf("expected InvalAck, got %T", d.Msg)
+		}
+	})
+	r.peer.ProtoProc.SetDaemon(true)
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 3.25 {
+		t.Fatalf("read = %v (the waiting read must see the in-flight data once)", got)
+	}
+	if !ackSeen {
+		t.Fatal("no invalidation acknowledgement")
+	}
+	if r.node.Store.Tag(remoteAddr) != memory.Invalid {
+		t.Fatalf("tag after post-use inval = %v", r.node.Store.Tag(remoteAddr))
+	}
+}
+
+// TestRecallOvertakesDataRW forces the recall before the writable grant:
+// the waiting write must complete exactly once, then the (fresh) data is
+// written back and the copy invalidated.
+func TestRecallOvertakesDataRW(t *testing.T) {
+	r := newRig(t)
+	r.node.Compute = r.k.Spawn("compute", func(p *sim.Proc) {
+		r.node.WriteF64(p, remoteAddr, 9.75)
+	})
+	var wb []byte
+	r.peer.ProtoProc = r.k.Spawn("script", func(p *sim.Proc) {
+		p.Recv() // GetRW
+		base := p.Now()
+		p.SendAt(r.node.ProtoProc, tempest.MsgRecallRW{Block: remoteAddr}, base+10*sim.Microsecond)
+		p.SendAt(r.node.ProtoProc, tempest.MsgDataRW{Block: remoteAddr, Data: f64bytes(1.5)}, base+20*sim.Microsecond)
+		d := p.Recv()
+		m, ok := d.Msg.(tempest.MsgWriteBack)
+		if !ok {
+			t.Errorf("expected WriteBack, got %T", d.Msg)
+			return
+		}
+		if m.Downgraded {
+			t.Error("RecallRW must not downgrade")
+		}
+		wb = m.Data
+	})
+	r.peer.ProtoProc.SetDaemon(true)
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(wb) == 0 {
+		t.Fatal("no writeback")
+	}
+	if v := math.Float64frombits(binary.LittleEndian.Uint64(wb)); v != 9.75 {
+		t.Fatalf("writeback carries %v, want the completed write 9.75", v)
+	}
+	if r.node.Store.Tag(remoteAddr) != memory.Invalid {
+		t.Fatalf("tag after recall = %v", r.node.Store.Tag(remoteAddr))
+	}
+}
+
+// TestRecallROOvertakesPresendGrant: a pre-send writable grant with no
+// local waiter gets recalled in flight; the node must write back the
+// arriving data and keep a read-only copy (RecallRO).
+func TestRecallROOvertakesPresendGrant(t *testing.T) {
+	r := newRig(t)
+	r.node.Compute = r.k.Spawn("compute", func(p *sim.Proc) {
+		p.Sleep(sim.Millisecond) // idle; no fault outstanding
+	})
+	done := false
+	r.peer.ProtoProc = r.k.Spawn("script", func(p *sim.Proc) {
+		base := p.Now()
+		p.SendAt(r.node.ProtoProc, tempest.MsgRecallRO{Block: remoteAddr}, base+10*sim.Microsecond)
+		p.SendAt(r.node.ProtoProc, tempest.MsgDataRW{Block: remoteAddr, Data: f64bytes(4.5), Presend: true}, base+20*sim.Microsecond)
+		d := p.Recv()
+		m, ok := d.Msg.(tempest.MsgWriteBack)
+		if !ok || !m.Downgraded {
+			t.Errorf("expected downgraded WriteBack, got %#v", d.Msg)
+			return
+		}
+		done = true
+	})
+	r.peer.ProtoProc.SetDaemon(true)
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("script incomplete")
+	}
+	if r.node.Store.Tag(remoteAddr) != memory.ReadOnly {
+		t.Fatalf("tag = %v, want ReadOnly after RecallRO", r.node.Store.Tag(remoteAddr))
+	}
+}
+
+// homeRig drives the real node as the HOME side: scripted remote
+// requesters send Get messages and observe grants.
+func TestHomeSideGrantAndDropRules(t *testing.T) {
+	r := newRig(t)
+	local := memory.Addr(0) // block 0 homed at node 0
+	r.node.Compute = r.k.Spawn("compute", func(p *sim.Proc) {
+		p.Sleep(5 * sim.Millisecond)
+	})
+	var replies []any
+	r.peer.ProtoProc = r.k.Spawn("script", func(p *sim.Proc) {
+		// First read: must be granted.
+		r.peer.Post(p, r.node, tempest.MsgGetRO{Block: local, Req: 1})
+		replies = append(replies, p.Recv().Msg)
+		// Second read while already a sharer (in-flight race): dropped.
+		r.peer.Post(p, r.node, tempest.MsgGetRO{Block: local, Req: 1})
+		// Upgrade to write: granted (sharer set is just us).
+		r.peer.Post(p, r.node, tempest.MsgGetRW{Block: local, Req: 1})
+		replies = append(replies, p.Recv().Msg)
+		// Write request while we already own it exclusively: dropped.
+		r.peer.Post(p, r.node, tempest.MsgGetRW{Block: local, Req: 1})
+		p.Sleep(sim.Millisecond) // leave room for any (wrong) extra replies
+		for {
+			if _, ok := p.TryRecv(); !ok {
+				break
+			}
+			replies = append(replies, "extra")
+		}
+	})
+	r.peer.ProtoProc.SetDaemon(true)
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 2 {
+		t.Fatalf("replies = %v, want exactly DataRO then DataRW", replies)
+	}
+	if _, ok := replies[0].(tempest.MsgDataRO); !ok {
+		t.Fatalf("first reply %T", replies[0])
+	}
+	if _, ok := replies[1].(tempest.MsgDataRW); !ok {
+		t.Fatalf("second reply %T", replies[1])
+	}
+	e := r.node.Dir.Lookup(local)
+	if e == nil || e.State != tempest.DirRemoteExcl || e.Owner != 1 {
+		t.Fatalf("directory = %+v", e)
+	}
+	if r.node.Store.Tag(local) != memory.Invalid {
+		t.Fatalf("home tag = %v after exclusive grant", r.node.Store.Tag(local))
+	}
+}
+
+// TestHomeRecallsExclusiveForReader: a read request for a remotely-owned
+// block triggers RecallRO; the writeback restores the home copy and both
+// nodes end with read-only copies.
+func TestHomeRecallsExclusiveForReader(t *testing.T) {
+	r := newRig(t)
+	local := memory.Addr(0)
+	r.node.Compute = r.k.Spawn("compute", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Millisecond)
+	})
+	var reply any
+	r.peer.ProtoProc = r.k.Spawn("script", func(p *sim.Proc) {
+		// Take exclusive ownership.
+		r.peer.Post(p, r.node, tempest.MsgGetRW{Block: local, Req: 1})
+		p.Recv() // DataRW
+		// Another reader (pretend node 1 relays for a would-be node; the
+		// directory only knows requester IDs, so reuse ID 1 is invalid —
+		// instead fault the home's own compute):
+		// Use the home's local read path: owner != home, so the home must
+		// recall from us.
+		r.node.Post(p, r.node, tempest.MsgGetRO{Block: local, Req: 0})
+		d := p.Recv() // RecallRO
+		if _, ok := d.Msg.(tempest.MsgRecallRO); !ok {
+			t.Errorf("expected RecallRO, got %T", d.Msg)
+		}
+		// Respond with the writeback (we hold data 5.5).
+		r.peer.Post(p, r.node, tempest.MsgWriteBack{Block: local, Data: f64bytes(5.5), From: 1, Downgraded: true})
+		reply = "done"
+	})
+	r.peer.ProtoProc.SetDaemon(true)
+	if err := r.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if reply == nil {
+		t.Fatal("script incomplete")
+	}
+	e := r.node.Dir.Lookup(local)
+	if e.State != tempest.DirHome || !e.Sharers.Has(1) {
+		t.Fatalf("directory = %+v", e)
+	}
+	if r.node.Store.Tag(local) != memory.ReadOnly {
+		t.Fatalf("home tag = %v", r.node.Store.Tag(local))
+	}
+	if v := math.Float64frombits(binary.LittleEndian.Uint64(r.node.Store.Data(local))); v != 5.5 {
+		t.Fatalf("home data = %v", v)
+	}
+}

@@ -1,0 +1,270 @@
+package teapot
+
+// successors enumerates every next state: spontaneous request issuance,
+// local writes, and delivery of each in-flight message (the network is
+// unordered, so every message is a candidate — this is what finds
+// overtaking races).
+func (m Model) successors(s *State) []*State {
+	var out []*State
+
+	// Request issuance and local writes.
+	for i := 0; i < m.Caches; i++ {
+		if s.Waiting[i] {
+			continue
+		}
+		if s.Tags[i] == Invalid && !s.DefInval[i] && s.DefRecall[i] == 0 {
+			// Issue a read.
+			n := s.clone()
+			n.Waiting[i], n.WaitingW[i] = true, false
+			n.Net = append(n.Net, Msg{Kind: GetRO, Src: i, Dst: -1})
+			out = append(out, n)
+		}
+		if s.Budget[i] > 0 && s.Tags[i] != ReadWrite && !s.DefInval[i] && s.DefRecall[i] == 0 {
+			// Issue a write (upgrade or fetch-exclusive).
+			n := s.clone()
+			n.Waiting[i], n.WaitingW[i] = true, true
+			n.Net = append(n.Net, Msg{Kind: GetRW, Src: i, Dst: -1})
+			out = append(out, n)
+		}
+		if s.Budget[i] > 0 && s.Tags[i] == ReadWrite {
+			// Perform a local write on the held exclusive copy.
+			n := s.clone()
+			n.LatestVer++
+			n.Vers[i] = n.LatestVer
+			n.Budget[i]--
+			out = append(out, n)
+		}
+	}
+
+	// Message deliveries.
+	for idx := range s.Net {
+		n := s.clone()
+		msg := n.Net[idx]
+		n.Net = append(n.Net[:idx], n.Net[idx+1:]...)
+		if msg.Dst == -1 {
+			m.homeHandle(n, msg)
+		} else {
+			m.cacheHandle(n, msg)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func (m Model) send(s *State, msg Msg) { s.Net = append(s.Net, msg) }
+
+// homeHandle mirrors internal/stache's home-side handlers.
+func (m Model) homeHandle(s *State, msg Msg) {
+	switch msg.Kind {
+	case GetRO:
+		m.handleGet(s, msg.Src, false)
+	case GetRW:
+		m.handleGet(s, msg.Src, true)
+	case InvalAck:
+		s.AcksLeft--
+		if s.AcksLeft == 0 {
+			m.grantRW(s, int(s.Grantee))
+			m.drain(s)
+		}
+	case WriteBackRO:
+		s.HomeVer = int8(msg.Ver)
+		s.HomeTag = ReadOnly
+		s.Sharers = 1 << uint(msg.Src)
+		s.Dir = DirHome
+		s.Owner = -1
+		m.drain(s)
+	case WriteBackRW:
+		s.HomeVer = int8(msg.Ver)
+		s.HomeTag = ReadWrite
+		s.Sharers = 0
+		s.Dir = DirHome
+		s.Owner = -1
+		m.drain(s)
+	}
+}
+
+func (m Model) handleGet(s *State, req int, write bool) {
+	switch s.Dir {
+	case DirHome:
+		if !write {
+			if s.Sharers&(1<<uint(req)) != 0 {
+				return // in-flight copy; drop
+			}
+			m.grantRO(s, req)
+			return
+		}
+		others := s.Sharers &^ (1 << uint(req))
+		if others == 0 {
+			m.grantRW(s, req)
+			return
+		}
+		s.Dir = DirAwaitAcks
+		s.Grantee = int8(req)
+		s.AcksLeft = 0
+		for i := 0; i < m.Caches; i++ {
+			if others&(1<<uint(i)) != 0 {
+				s.AcksLeft++
+				m.send(s, Msg{Kind: Inval, Src: -1, Dst: i})
+			}
+		}
+		s.Sharers = 0
+	case DirRemoteExcl:
+		if int(s.Owner) == req {
+			return // grant in flight; drop
+		}
+		s.Pending = append(s.Pending, pend{Req: req, Write: write})
+		s.Dir = DirAwaitWB
+		if write {
+			m.send(s, Msg{Kind: RecallRW, Src: -1, Dst: int(s.Owner)})
+		} else {
+			m.send(s, Msg{Kind: RecallRO, Src: -1, Dst: int(s.Owner)})
+		}
+	case DirAwaitAcks:
+		if int(s.Grantee) == req {
+			return // grant pending; drop
+		}
+		s.Pending = append(s.Pending, pend{Req: req, Write: write})
+	case DirAwaitWB:
+		s.Pending = append(s.Pending, pend{Req: req, Write: write})
+	}
+}
+
+func (m Model) grantRO(s *State, req int) {
+	s.Sharers |= 1 << uint(req)
+	if s.HomeTag == ReadWrite {
+		s.HomeTag = ReadOnly
+	}
+	m.send(s, Msg{Kind: DataRO, Src: -1, Dst: req, Ver: int(s.HomeVer)})
+}
+
+func (m Model) grantRW(s *State, req int) {
+	s.Sharers = 0
+	m.send(s, Msg{Kind: DataRW, Src: -1, Dst: req, Ver: int(s.HomeVer)})
+	s.HomeTag = Invalid
+	s.Dir = DirRemoteExcl
+	s.Owner = int8(req)
+}
+
+func (m Model) drain(s *State) {
+	for len(s.Pending) > 0 {
+		if s.Dir != DirHome && s.Dir != DirRemoteExcl {
+			return
+		}
+		before := len(s.Pending)
+		p := s.Pending[0]
+		s.Pending = s.Pending[1:]
+		m.handleGet(s, p.Req, p.Write)
+		if s.Dir == DirHome && len(s.Pending) >= before {
+			return
+		}
+	}
+}
+
+// cacheHandle mirrors internal/stache's cache-side handlers; the
+// Deferrals switch selects the production race resolutions or the naive
+// behavior the checker convicts.
+func (m Model) cacheHandle(s *State, msg Msg) {
+	i := msg.Dst
+	switch msg.Kind {
+	case DataRO:
+		if s.DefInval[i] {
+			// The invalidation overtook this grant: consume the copy for
+			// the waiting read (if any), acknowledge, end invalid.
+			s.DefInval[i] = false
+			m.send(s, Msg{Kind: InvalAck, Src: i, Dst: -1})
+			if s.Waiting[i] && !s.WaitingW[i] {
+				// The read used the in-flight data once.
+				s.Waiting[i] = false
+				s.Tags[i] = Invalid
+				return
+			}
+			// Otherwise re-issue the outstanding request.
+			if s.Waiting[i] {
+				kind := GetRO
+				if s.WaitingW[i] {
+					kind = GetRW
+				}
+				m.send(s, Msg{Kind: kind, Src: i, Dst: -1})
+			}
+			return
+		}
+		s.Tags[i] = ReadOnly
+		s.Vers[i] = int8(msg.Ver)
+		if s.Waiting[i] && !s.WaitingW[i] {
+			s.Waiting[i] = false
+		}
+	case DataRW:
+		if s.DefRecall[i] != 0 {
+			kind := s.DefRecall[i]
+			s.DefRecall[i] = 0
+			ver := int8(msg.Ver)
+			if s.Waiting[i] && s.WaitingW[i] && s.Budget[i] > 0 {
+				// Complete the waiting write once, then honor the recall
+				// (the production pending-use guarantee).
+				s.LatestVer++
+				ver = s.LatestVer
+				s.Budget[i]--
+				s.Waiting[i] = false
+			} else if s.Waiting[i] {
+				s.Waiting[i] = false
+			}
+			if kind == 1 { // RecallRO
+				s.Tags[i] = ReadOnly
+				s.Vers[i] = ver
+				m.send(s, Msg{Kind: WriteBackRO, Src: i, Dst: -1, Ver: int(ver)})
+			} else {
+				s.Tags[i] = Invalid
+				m.send(s, Msg{Kind: WriteBackRW, Src: i, Dst: -1, Ver: int(ver)})
+			}
+			return
+		}
+		s.Tags[i] = ReadWrite
+		s.Vers[i] = int8(msg.Ver)
+		if s.Waiting[i] {
+			if s.WaitingW[i] && s.Budget[i] > 0 {
+				// Complete the waiting write with the grant in hand.
+				s.LatestVer++
+				s.Vers[i] = s.LatestVer
+				s.Budget[i]--
+			}
+			s.Waiting[i] = false
+		}
+	case Inval:
+		if s.Tags[i] >= ReadOnly {
+			s.Tags[i] = Invalid
+			m.send(s, Msg{Kind: InvalAck, Src: i, Dst: -1})
+			return
+		}
+		if m.Deferrals {
+			s.DefInval[i] = true
+			return
+		}
+		// Naive: acknowledge immediately; the chased data will install a
+		// stale readable copy later.
+		m.send(s, Msg{Kind: InvalAck, Src: i, Dst: -1})
+	case RecallRO:
+		if s.Tags[i] == ReadWrite {
+			s.Tags[i] = ReadOnly
+			m.send(s, Msg{Kind: WriteBackRO, Src: i, Dst: -1, Ver: int(s.Vers[i])})
+			return
+		}
+		if m.Deferrals {
+			s.DefRecall[i] = 1
+			return
+		}
+		m.send(s, Msg{Kind: WriteBackRO, Src: i, Dst: -1, Ver: int(s.Vers[i])})
+		s.Tags[i] = ReadOnly
+	case RecallRW:
+		if s.Tags[i] == ReadWrite {
+			s.Tags[i] = Invalid
+			m.send(s, Msg{Kind: WriteBackRW, Src: i, Dst: -1, Ver: int(s.Vers[i])})
+			return
+		}
+		if m.Deferrals {
+			s.DefRecall[i] = 2
+			return
+		}
+		m.send(s, Msg{Kind: WriteBackRW, Src: i, Dst: -1, Ver: int(s.Vers[i])})
+		s.Tags[i] = Invalid
+	}
+}

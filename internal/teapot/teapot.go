@@ -1,0 +1,313 @@
+// Package teapot is a miniature protocol model checker in the spirit of
+// Teapot, the domain-specific language the authors used to develop the
+// predictive protocol ("Teapot: Language Support for Writing Memory
+// Coherence Protocols", paper reference [3]; Teapot specifications were
+// verified with an explicit-state model checker).
+//
+// A Model describes a coherence protocol abstractly for a single cache
+// block: directory state at the home, per-cache tags, an unordered
+// network (the CM-5 did not guarantee point-to-point ordering between
+// different-size messages), and a data version number used to detect
+// stale reads. The checker enumerates every reachable state by
+// breadth-first search over request issuance and message delivery and
+// verifies safety invariants in quiescent states plus deadlock freedom
+// everywhere.
+//
+// Two models ship with the package: the full Stache model with the
+// cache-side deferral rules the production protocol uses (verified
+// clean), and a naive variant without them, which the checker correctly
+// convicts — the reason those rules exist.
+package teapot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tag is a cache's access-control state in the abstract model.
+type Tag uint8
+
+// Tags.
+const (
+	Invalid Tag = iota
+	ReadOnly
+	ReadWrite
+)
+
+func (t Tag) String() string {
+	return [...]string{"I", "RO", "RW"}[t]
+}
+
+// DirState is the home directory state.
+type DirState uint8
+
+// Directory states.
+const (
+	DirHome DirState = iota
+	DirRemoteExcl
+	DirAwaitAcks
+	DirAwaitWB
+)
+
+func (s DirState) String() string {
+	return [...]string{"Home", "RemoteExcl", "AwaitAcks", "AwaitWB"}[s]
+}
+
+// MsgKind enumerates protocol messages for one block.
+type MsgKind uint8
+
+// Message kinds.
+const (
+	GetRO MsgKind = iota
+	GetRW
+	DataRO
+	DataRW
+	Inval
+	InvalAck
+	RecallRO
+	RecallRW
+	WriteBackRO // downgraded
+	WriteBackRW // invalidated
+)
+
+var msgNames = [...]string{
+	"GetRO", "GetRW", "DataRO", "DataRW", "Inval", "InvalAck",
+	"RecallRO", "RecallRW", "WriteBackRO", "WriteBackRW",
+}
+
+func (k MsgKind) String() string { return msgNames[k] }
+
+// Msg is one in-flight message. Src/Dst are cache indices; the home is a
+// separate party addressed with home = -1.
+type Msg struct {
+	Kind MsgKind
+	Src  int // sending cache, or -1 for home
+	Dst  int // receiving cache, or -1 for home
+	Ver  int // data version carried (Data*/WriteBack*)
+}
+
+// pend is a queued request at the home.
+type pend struct {
+	Req   int
+	Write bool
+}
+
+// State is one global protocol state for the single modeled block.
+type State struct {
+	// Directory at home.
+	Dir      DirState
+	Sharers  uint8 // bitmask over caches
+	Owner    int8  // exclusive owner or -1
+	AcksLeft int8
+	Grantee  int8
+	Pending  []pend
+
+	// HomeTag is the home node's own access tag; HomeVer the version its
+	// copy holds.
+	HomeTag Tag
+	HomeVer int8
+
+	// Per-cache state.
+	Tags     []Tag
+	Vers     []int8 // version each RO/RW copy holds
+	Waiting  []bool // request outstanding
+	WaitingW []bool // outstanding request is a write
+	// Deferral state (the production protocol's race resolutions).
+	DefInval  []bool
+	DefRecall []int8 // 0 none, 1 RO, 2 RW
+
+	// Writes remaining per cache (bounds the state space).
+	Budget []int8
+
+	// LatestVer is the newest version ever written.
+	LatestVer int8
+
+	// Net is the unordered network (multiset of messages).
+	Net []Msg
+}
+
+// clone deep-copies the state.
+func (s *State) clone() *State {
+	c := *s
+	c.Pending = append([]pend(nil), s.Pending...)
+	c.Tags = append([]Tag(nil), s.Tags...)
+	c.Vers = append([]int8(nil), s.Vers...)
+	c.Waiting = append([]bool(nil), s.Waiting...)
+	c.WaitingW = append([]bool(nil), s.WaitingW...)
+	c.DefInval = append([]bool(nil), s.DefInval...)
+	c.DefRecall = append([]int8(nil), s.DefRecall...)
+	c.Budget = append([]int8(nil), s.Budget...)
+	c.Net = append([]Msg(nil), s.Net...)
+	return &c
+}
+
+// key canonicalizes the state for the visited set. The network multiset
+// is sorted so message ordering does not split states.
+func (s *State) key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|%d|%d|%d|%d|%v|%d|%d|", s.Dir, s.Sharers, s.Owner, s.AcksLeft, s.Grantee, s.Pending, s.HomeTag, s.HomeVer)
+	fmt.Fprintf(&b, "%v|%v|%v|%v|%v|%v|%v|%d|", s.Tags, s.Vers, s.Waiting, s.WaitingW, s.DefInval, s.DefRecall, s.Budget, s.LatestVer)
+	net := append([]Msg(nil), s.Net...)
+	sort.Slice(net, func(i, j int) bool {
+		a, c := net[i], net[j]
+		if a.Kind != c.Kind {
+			return a.Kind < c.Kind
+		}
+		if a.Src != c.Src {
+			return a.Src < c.Src
+		}
+		if a.Dst != c.Dst {
+			return a.Dst < c.Dst
+		}
+		return a.Ver < c.Ver
+	})
+	fmt.Fprintf(&b, "%v", net)
+	return b.String()
+}
+
+// quiescent reports no in-flight traffic, no transients and no waiters.
+func (s *State) quiescent() bool {
+	if len(s.Net) > 0 || len(s.Pending) > 0 {
+		return false
+	}
+	if s.Dir == DirAwaitAcks || s.Dir == DirAwaitWB {
+		return false
+	}
+	for i := range s.Tags {
+		if s.Waiting[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Model selects the protocol variant to check.
+type Model struct {
+	// Caches is the number of remote caches (the home is separate).
+	Caches int
+	// WritesPerCache bounds each cache's write requests.
+	WritesPerCache int
+	// ReadsAreUnbounded lets caches re-read after invalidation; bounded
+	// implicitly by the version/budget space.
+	// Deferrals enables the production race resolutions (deferred
+	// invalidations/recalls). Without them the unordered network breaks
+	// the naive protocol, which the checker detects.
+	Deferrals bool
+}
+
+// Violation describes a safety failure with the offending state.
+type Violation struct {
+	Msg   string
+	State string
+}
+
+func (v Violation) String() string { return v.Msg + "\n  in state " + v.State }
+
+// Result summarizes a check.
+type Result struct {
+	States     int
+	Quiescent  int
+	Violations []Violation
+}
+
+// Check explores all reachable states.
+func (m Model) Check(maxStates int) Result {
+	if m.Caches <= 0 {
+		m.Caches = 2
+	}
+	if m.WritesPerCache <= 0 {
+		m.WritesPerCache = 1
+	}
+	init := &State{
+		Dir: DirHome, Owner: -1, Grantee: -1,
+		HomeTag: ReadWrite,
+		Tags:    make([]Tag, m.Caches),
+		Vers:    make([]int8, m.Caches),
+		Waiting: make([]bool, m.Caches), WaitingW: make([]bool, m.Caches),
+		DefInval: make([]bool, m.Caches), DefRecall: make([]int8, m.Caches),
+		Budget: make([]int8, m.Caches),
+	}
+	for i := range init.Budget {
+		init.Budget[i] = int8(m.WritesPerCache)
+	}
+
+	seen := map[string]bool{init.key(): true}
+	queue := []*State{init}
+	res := Result{}
+	push := func(s *State) {
+		k := s.key()
+		if !seen[k] {
+			seen[k] = true
+			queue = append(queue, s)
+		}
+	}
+
+	for len(queue) > 0 && res.States < maxStates && len(res.Violations) == 0 {
+		s := queue[0]
+		queue = queue[1:]
+		res.States++
+
+		if s.quiescent() {
+			res.Quiescent++
+			if vs := m.checkInvariants(s); len(vs) > 0 {
+				res.Violations = append(res.Violations, vs...)
+				break
+			}
+		}
+
+		succ := m.successors(s)
+		if len(succ) == 0 && !s.quiescent() {
+			res.Violations = append(res.Violations, Violation{
+				Msg:   "deadlock: non-quiescent state with no successors",
+				State: s.key(),
+			})
+			break
+		}
+		for _, n := range succ {
+			push(n)
+		}
+	}
+	return res
+}
+
+// checkInvariants validates a quiescent state.
+func (m Model) checkInvariants(s *State) []Violation {
+	var out []Violation
+	bad := func(format string, args ...any) {
+		out = append(out, Violation{Msg: fmt.Sprintf(format, args...), State: s.key()})
+	}
+	writers := 0
+	if s.HomeTag == ReadWrite {
+		writers++
+	}
+	for i, t := range s.Tags {
+		if t == ReadWrite {
+			writers++
+			if s.Dir != DirRemoteExcl || int(s.Owner) != i {
+				bad("cache %d writable but directory says %v owner %d", i, s.Dir, s.Owner)
+			}
+		}
+		if t == ReadOnly {
+			if s.Vers[i] != s.LatestVer {
+				bad("cache %d holds stale version %d (latest %d)", i, s.Vers[i], s.LatestVer)
+			}
+			if s.Sharers&(1<<uint(i)) == 0 {
+				bad("cache %d readable but not in sharer set", i)
+			}
+		}
+		if t == Invalid && s.Sharers&(1<<uint(i)) != 0 && s.Dir == DirHome {
+			bad("cache %d invalid but listed as sharer", i)
+		}
+	}
+	if writers > 1 {
+		bad("%d simultaneous writers", writers)
+	}
+	if s.Dir == DirHome && s.HomeTag == Invalid {
+		bad("home invalid in DirHome")
+	}
+	if s.Dir == DirHome && s.HomeVer != s.LatestVer && s.HomeTag != Invalid {
+		bad("home holds stale version %d (latest %d)", s.HomeVer, s.LatestVer)
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package tempest
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Bitset is a set of node IDs (the machine is capped at 64 nodes, like
+// the 32-processor CM-5 partition the paper measured).
+type Bitset uint64
+
+// Add inserts node n.
+func (b *Bitset) Add(n int) { *b |= 1 << uint(n) }
+
+// Remove deletes node n.
+func (b *Bitset) Remove(n int) { *b &^= 1 << uint(n) }
+
+// Has reports membership of node n.
+func (b Bitset) Has(n int) bool { return b&(1<<uint(n)) != 0 }
+
+// Empty reports whether the set has no members.
+func (b Bitset) Empty() bool { return b == 0 }
+
+// Count returns the number of members.
+func (b Bitset) Count() int { return bits.OnesCount64(uint64(b)) }
+
+// Clear removes all members.
+func (b *Bitset) Clear() { *b = 0 }
+
+// ForEach calls fn for each member in ascending order.
+func (b Bitset) ForEach(fn func(n int)) {
+	v := uint64(b)
+	for v != 0 {
+		n := bits.TrailingZeros64(v)
+		fn(n)
+		v &^= 1 << uint(n)
+	}
+}
+
+// String renders the set as {0,3,7}.
+func (b Bitset) String() string {
+	var parts []string
+	b.ForEach(func(n int) { parts = append(parts, fmt.Sprint(n)) })
+	return "{" + strings.Join(parts, ",") + "}"
+}

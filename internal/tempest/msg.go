@@ -1,0 +1,166 @@
+package tempest
+
+import "presto/internal/memory"
+
+// Msg is a protocol message. PayloadBytes reports the wire payload size
+// (the fixed header is accounted separately by the network model).
+type Msg interface {
+	PayloadBytes() int
+}
+
+// addrBytes is the wire size of a block address or node ID field.
+const addrBytes = 8
+
+// MsgGetRO requests a read-only copy of a block from its home node.
+type MsgGetRO struct {
+	Block memory.Block
+	Req   int // requesting node
+}
+
+// MsgGetRW requests a writable copy of a block from its home node.
+type MsgGetRW struct {
+	Block memory.Block
+	Req   int
+}
+
+// MsgDataRO carries a read-only copy of a block to a requester (or to a
+// scheduled reader during the pre-send phase when Presend is set).
+type MsgDataRO struct {
+	Block   memory.Block
+	Data    []byte
+	Presend bool
+}
+
+// MsgDataRW carries an exclusive writable copy of a block.
+type MsgDataRW struct {
+	Block   memory.Block
+	Data    []byte
+	Presend bool
+}
+
+// MsgInval orders a sharer to drop its read-only copy.
+type MsgInval struct {
+	Block memory.Block
+}
+
+// MsgInvalAck acknowledges an invalidation back to the home node.
+type MsgInvalAck struct {
+	Block memory.Block
+	From  int
+}
+
+// MsgRecallRO orders the exclusive owner to downgrade to read-only and
+// return the current data to the home node.
+type MsgRecallRO struct {
+	Block memory.Block
+}
+
+// MsgRecallRW orders the exclusive owner to invalidate its copy and return
+// the current data to the home node.
+type MsgRecallRW struct {
+	Block memory.Block
+}
+
+// MsgWriteBack returns a block's current data from the (former) exclusive
+// owner to the home node. Downgraded reports that the owner kept a
+// read-only copy (RecallRO) rather than invalidating (RecallRW).
+type MsgWriteBack struct {
+	Block      memory.Block
+	Data       []byte
+	From       int
+	Downgraded bool
+}
+
+// BulkEntry is one block within a coalesced pre-send message.
+type BulkEntry struct {
+	Block memory.Block
+	Data  []byte
+	RW    bool
+}
+
+// MsgBulk is a coalesced transfer carrying several blocks to one
+// destination under a single message-startup cost: pre-sends (paper §3.4),
+// write-update pushes, and gather replies all use it. Notify asks the
+// receiving protocol processor to signal its compute processor
+// (MsgGatherDone) after installing the entries.
+type MsgBulk struct {
+	Entries []BulkEntry
+	Notify  bool
+}
+
+// MsgGetBulk requests read-only copies of many blocks from their common
+// home in one message — the transport an inspector-executor runtime
+// (CHAOS-style, paper §2) uses to execute its communication schedule.
+// Blocks that are not home-valid are silently skipped; the requester
+// falls back to ordinary faults for them.
+type MsgGetBulk struct {
+	Blocks []memory.Block
+	Req    int
+}
+
+// MsgGatherDone is the node-local completion notice for a Notify bulk.
+type MsgGatherDone struct{}
+
+// MsgWake is a node-local message from the protocol processor to the
+// compute processor: the block it faulted on is now accessible.
+type MsgWake struct {
+	Block memory.Block
+}
+
+// MsgPresendGo is a node-local directive from the compute processor asking
+// its protocol processor to execute the pre-send phase for a schedule.
+type MsgPresendGo struct {
+	Phase int
+}
+
+// MsgPresendDone is the node-local completion notice for MsgPresendGo.
+type MsgPresendDone struct {
+	Phase int
+}
+
+// MsgUseDone is a node-local notice from the compute processor that the
+// access a just-installed grant satisfied has completed, releasing any
+// recall or invalidation the protocol deferred to guarantee the grantee
+// makes progress (livelock avoidance under migratory storms).
+type MsgUseDone struct {
+	Block memory.Block
+}
+
+// MsgSignal is an application-level point-to-point signal between compute
+// processors (e.g. the token that serializes parallel tree insertion).
+type MsgSignal struct {
+	Tag  int
+	From int
+}
+
+// MsgUpdate pushes fresh data for a block directly to a consumer (the
+// write-update baseline protocol used by the hand-optimized SPMD Barnes).
+type MsgUpdate struct {
+	Block memory.Block
+	Data  []byte
+}
+
+func (m MsgGetRO) PayloadBytes() int     { return 2 * addrBytes }
+func (m MsgGetRW) PayloadBytes() int     { return 2 * addrBytes }
+func (m MsgDataRO) PayloadBytes() int    { return addrBytes + len(m.Data) }
+func (m MsgDataRW) PayloadBytes() int    { return addrBytes + len(m.Data) }
+func (m MsgInval) PayloadBytes() int     { return addrBytes }
+func (m MsgInvalAck) PayloadBytes() int  { return 2 * addrBytes }
+func (m MsgRecallRO) PayloadBytes() int  { return addrBytes }
+func (m MsgRecallRW) PayloadBytes() int  { return addrBytes }
+func (m MsgWriteBack) PayloadBytes() int { return 2*addrBytes + len(m.Data) }
+func (m MsgBulk) PayloadBytes() int {
+	n := 0
+	for _, e := range m.Entries {
+		n += addrBytes + len(e.Data)
+	}
+	return n
+}
+func (m MsgGetBulk) PayloadBytes() int     { return addrBytes * (len(m.Blocks) + 1) }
+func (m MsgGatherDone) PayloadBytes() int  { return 0 }
+func (m MsgWake) PayloadBytes() int        { return 0 }
+func (m MsgPresendGo) PayloadBytes() int   { return 0 }
+func (m MsgPresendDone) PayloadBytes() int { return 0 }
+func (m MsgUpdate) PayloadBytes() int      { return addrBytes + len(m.Data) }
+func (m MsgSignal) PayloadBytes() int      { return 2 * addrBytes }
+func (m MsgUseDone) PayloadBytes() int     { return addrBytes }

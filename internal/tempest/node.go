@@ -1,0 +1,419 @@
+// Package tempest is the user-level shared-memory substrate of the
+// simulated machine, modeled on the Tempest interface that Blizzard
+// implemented on the CM-5: fine-grain access control (package memory),
+// access faults vectored to user-level protocol handlers, low-level
+// messaging between nodes, and the directory bookkeeping shared by the
+// coherence protocols built on top (stache, the predictive protocol, and
+// the write-update baseline).
+//
+// Each simulated node runs two sim Procs: a compute processor executing
+// application code, and a protocol processor running a message-handler
+// loop (Blizzard dispatched protocol handlers from active messages and
+// polling; the split models handler occupancy without modeling preemption
+// of compute, a second-order effect).
+package tempest
+
+import (
+	"fmt"
+
+	"presto/internal/memory"
+	"presto/internal/network"
+	"presto/internal/sim"
+	"presto/internal/trace"
+)
+
+// Protocol is a user-level cache-coherence protocol in the Tempest sense.
+// Implementations keep their per-node state via Node.ProtoState.
+type Protocol interface {
+	// Name identifies the protocol in reports.
+	Name() string
+	// Init prepares per-node protocol state; called once per node before
+	// the simulation starts.
+	Init(n *Node)
+	// OnFault runs on n's compute processor after an access fault on
+	// block b has been detected and vectored. It either initiates the
+	// request that will eventually make the block accessible and wake
+	// the compute processor (returning false), or resolves the fault
+	// locally without blocking (returning true).
+	OnFault(n *Node, b memory.Block, write bool) (resolved bool)
+	// Handle runs on n's protocol processor for each arriving message
+	// (dispatch overhead has already been charged).
+	Handle(n *Node, d sim.Delivery)
+}
+
+// PhaseProtocol is implemented by protocols that accept the compiler's
+// parallel-phase directives (the predictive protocol).
+type PhaseProtocol interface {
+	Protocol
+	// BeginPhase runs on n's compute processor at a phase directive. It
+	// may block (executing the pre-send phase) and returns the virtual
+	// time spent pre-sending on this node.
+	BeginPhase(n *Node, phase int) sim.Time
+	// EndPhase runs on n's compute processor when the parallel phase
+	// completes (after the phase's closing barrier).
+	EndPhase(n *Node, phase int)
+}
+
+// Stats is one node's time breakdown and event counters. The three time
+// buckets mirror the paper's figure legends: remote-data wait, predictive
+// protocol (pre-send), and compute+synchronization.
+type Stats struct {
+	Compute    sim.Time // application computation (Advance'd by the app)
+	RemoteWait sim.Time // blocked in access faults
+	Presend    sim.Time // executing pre-send directives
+	Sync       sim.Time // waiting at barriers
+
+	ReadFaults  int64
+	WriteFaults int64
+	MsgsSent    int64
+	BytesSent   int64
+
+	PresendsSent    int64 // blocks pre-sent from this home
+	PresendsSkipped int64 // schedule entries skipped (target already had a copy)
+	BulkMsgs        int64 // coalesced pre-send messages
+	Conflicts       int64 // schedule entries recorded as conflicts
+}
+
+// Total returns the node's total accounted virtual time.
+func (s *Stats) Total() sim.Time { return s.Compute + s.RemoteWait + s.Presend + s.Sync }
+
+// Node is one simulated machine node.
+type Node struct {
+	ID    int
+	AS    *memory.AddressSpace
+	Store *memory.Store
+	Net   *network.Params
+	Proto Protocol
+	Dir   *Directory // directory for blocks this node homes
+
+	Compute   *sim.Proc // set by the runtime when the compute Proc spawns
+	ProtoProc *sim.Proc
+	Peers     []*Node // all nodes, indexed by ID (includes self)
+
+	Stats Stats
+
+	// Compute-processor fault rendezvous.
+	waiting   bool
+	waitBlock memory.Block
+
+	// sigStash holds application signals that arrived while the compute
+	// processor was blocked in a protocol wait.
+	sigStash []sim.Delivery
+
+	// pendingUse tracks blocks granted to a fault-waiting compute
+	// processor that have not yet been accessed. Protocols defer recalls
+	// and invalidations for such blocks until the access completes,
+	// which guarantees every grantee makes progress (no migratory
+	// livelock).
+	pendingUse  map[memory.Block]*useState
+	pendingUseN int
+
+	// ProtoState holds protocol-private per-node state.
+	ProtoState any
+
+	// Trace, when non-nil, records protocol events.
+	Trace *trace.Ring
+}
+
+// NewNode constructs a node over the given address space. The runtime
+// wires Peers and spawns the Procs.
+func NewNode(id int, as *memory.AddressSpace, net *network.Params, proto Protocol) *Node {
+	n := &Node{
+		ID:    id,
+		AS:    as,
+		Store: memory.NewStore(as, id),
+		Net:   net,
+		Proto: proto,
+		Dir:   NewDirectory(),
+	}
+	return n
+}
+
+// Post sends a protocol message from src (the currently running Proc on
+// this node) to dst's protocol processor, charging sender occupancy and
+// network transit per the cost model. Node-local messages (dst == n) use
+// the cheap local path.
+func (n *Node) Post(src *sim.Proc, dst *Node, m Msg) {
+	if dst == n {
+		src.Advance(n.Net.LocalOverhead)
+		src.Send(n.ProtoProc, m, n.Net.LocalDelay)
+		return
+	}
+	payload := m.PayloadBytes()
+	src.Advance(n.Net.SendCost(payload))
+	src.Send(dst.ProtoProc, m, n.Net.TransitDelay(payload))
+	n.Stats.MsgsSent++
+	n.Stats.BytesSent += int64(payload + n.Net.HeaderBytes)
+	if n.Trace != nil {
+		n.Trace.Add(src.Now(), n.ID, trace.Send, "%s -> n%d", MsgString(m), dst.ID)
+	}
+}
+
+// MsgString renders a protocol message compactly for traces.
+func MsgString(m Msg) string {
+	switch v := m.(type) {
+	case MsgGetRO:
+		return fmt.Sprintf("GetRO(%#x req=%d)", uint64(v.Block), v.Req)
+	case MsgGetRW:
+		return fmt.Sprintf("GetRW(%#x req=%d)", uint64(v.Block), v.Req)
+	case MsgDataRO:
+		return fmt.Sprintf("DataRO(%#x p=%v)", uint64(v.Block), v.Presend)
+	case MsgDataRW:
+		return fmt.Sprintf("DataRW(%#x p=%v)", uint64(v.Block), v.Presend)
+	case MsgInval:
+		return fmt.Sprintf("Inval(%#x)", uint64(v.Block))
+	case MsgInvalAck:
+		return fmt.Sprintf("InvalAck(%#x from=%d)", uint64(v.Block), v.From)
+	case MsgRecallRO:
+		return fmt.Sprintf("RecallRO(%#x)", uint64(v.Block))
+	case MsgRecallRW:
+		return fmt.Sprintf("RecallRW(%#x)", uint64(v.Block))
+	case MsgWriteBack:
+		return fmt.Sprintf("WriteBack(%#x from=%d dg=%v)", uint64(v.Block), v.From, v.Downgraded)
+	case MsgBulk:
+		return fmt.Sprintf("Bulk(%d blocks)", len(v.Entries))
+	default:
+		return fmt.Sprintf("%T", m)
+	}
+}
+
+// InstallCost returns the modeled receiver-side cost of installing a data
+// block (copy into the line plus access-control tag update).
+func (n *Node) InstallCost(bytes int) sim.Time {
+	return sim.Time(bytes) * n.Net.PerByteSend
+}
+
+// WakeCompute releases the compute processor if it is fault-waiting on
+// block b. Must be called from the protocol processor.
+func (n *Node) WakeCompute(b memory.Block) {
+	if n.waiting && n.waitBlock == b {
+		n.waiting = false
+		n.ProtoProc.Send(n.Compute, MsgWake{Block: b}, n.Net.LocalDelay)
+	}
+}
+
+// FaultWaitBlock reports the block the compute processor is currently
+// fault-waiting on, if any.
+func (n *Node) FaultWaitBlock() (memory.Block, bool) { return n.waitBlock, n.waiting }
+
+// fault vectors an access fault on the compute processor p: it charges
+// detection cost, invokes the protocol, and blocks until the protocol
+// processor wakes it. Time spent is accounted as remote-data wait.
+func (n *Node) fault(p *sim.Proc, a memory.Addr, write bool) {
+	start := p.Now()
+	p.Advance(n.Net.FaultDetect)
+	b := n.AS.BlockOf(a)
+	if n.Trace != nil {
+		n.Trace.Add(p.Now(), n.ID, trace.Fault, "block %#x write=%v", uint64(b), write)
+	}
+	n.waiting, n.waitBlock = true, b
+	if n.Proto.OnFault(n, b, write) {
+		n.waiting = false
+		n.Stats.RemoteWait += p.Now() - start
+		if write {
+			n.Stats.WriteFaults++
+		} else {
+			n.Stats.ReadFaults++
+		}
+		return
+	}
+	n.RecvCompute(p, func(m any) bool {
+		w, ok := m.(MsgWake)
+		return ok && w.Block == b
+	})
+	n.Stats.RemoteWait += p.Now() - start
+	if write {
+		n.Stats.WriteFaults++
+	} else {
+		n.Stats.ReadFaults++
+	}
+}
+
+// ReadF64 performs a shared-memory load of a float64 on compute processor
+// p, faulting into the protocol as needed.
+func (n *Node) ReadF64(p *sim.Proc, a memory.Addr) float64 {
+	for {
+		if v, ok := n.Store.LoadF64(a); ok {
+			if n.pendingUseN > 0 {
+				n.finishUse(p, a)
+			}
+			return v
+		}
+		n.fault(p, a, false)
+	}
+}
+
+// WriteF64 performs a shared-memory store of a float64.
+func (n *Node) WriteF64(p *sim.Proc, a memory.Addr, v float64) {
+	for {
+		if n.Store.StoreF64(a, v) {
+			if n.pendingUseN > 0 {
+				n.finishUse(p, a)
+			}
+			return
+		}
+		n.fault(p, a, true)
+	}
+}
+
+// RMWF64 performs an atomic read-modify-write of a shared float64: it
+// first acquires write access (faulting as needed), then applies fn in a
+// single non-yielding step, so no other node's write can interleave —
+// the shared-memory analogue of a lock-protected update.
+func (n *Node) RMWF64(p *sim.Proc, a memory.Addr, fn func(v float64) float64) {
+	for {
+		if v, ok := n.Store.LoadF64(a); ok {
+			if n.Store.StoreF64(a, fn(v)) {
+				if n.pendingUseN > 0 {
+					n.finishUse(p, a)
+				}
+				return
+			}
+		}
+		n.fault(p, a, true)
+	}
+}
+
+// ReadU64 performs a shared-memory load of a uint64.
+func (n *Node) ReadU64(p *sim.Proc, a memory.Addr) uint64 {
+	for {
+		if v, ok := n.Store.LoadU64(a); ok {
+			if n.pendingUseN > 0 {
+				n.finishUse(p, a)
+			}
+			return v
+		}
+		n.fault(p, a, false)
+	}
+}
+
+// WriteU64 performs a shared-memory store of a uint64.
+func (n *Node) WriteU64(p *sim.Proc, a memory.Addr, v uint64) {
+	for {
+		if n.Store.StoreU64(a, v) {
+			if n.pendingUseN > 0 {
+				n.finishUse(p, a)
+			}
+			return
+		}
+		n.fault(p, a, true)
+	}
+}
+
+// ReadU32 performs a shared-memory load of a uint32.
+func (n *Node) ReadU32(p *sim.Proc, a memory.Addr) uint32 {
+	for {
+		if v, ok := n.Store.LoadU32(a); ok {
+			if n.pendingUseN > 0 {
+				n.finishUse(p, a)
+			}
+			return v
+		}
+		n.fault(p, a, false)
+	}
+}
+
+// WriteU32 performs a shared-memory store of a uint32.
+func (n *Node) WriteU32(p *sim.Proc, a memory.Addr, v uint32) {
+	for {
+		if n.Store.StoreU32(a, v) {
+			if n.pendingUseN > 0 {
+				n.finishUse(p, a)
+			}
+			return
+		}
+		n.fault(p, a, true)
+	}
+}
+
+// useState tracks one pending first use of a freshly granted block.
+type useState struct {
+	deferred bool // a protocol action waits for the use to complete
+}
+
+// MarkPendingUse records that the compute processor is about to consume a
+// grant for b. Called by protocols when installing data for a
+// fault-waiting compute processor.
+func (n *Node) MarkPendingUse(b memory.Block) {
+	if n.pendingUse == nil {
+		n.pendingUse = make(map[memory.Block]*useState)
+	}
+	if _, ok := n.pendingUse[b]; !ok {
+		n.pendingUse[b] = &useState{}
+		n.pendingUseN++
+	}
+}
+
+// PendingUse reports whether a grant for b awaits its first use.
+func (n *Node) PendingUse(b memory.Block) bool {
+	_, ok := n.pendingUse[b]
+	return ok
+}
+
+// DeferPostUse marks that the protocol owes a post-use action for b. It
+// reports false when no use is pending (the caller must act now).
+func (n *Node) DeferPostUse(b memory.Block) bool {
+	st := n.pendingUse[b]
+	if st == nil {
+		return false
+	}
+	st.deferred = true
+	return true
+}
+
+// finishUse clears the pending-use mark after a successful access and, if
+// a protocol action was deferred, notifies the protocol processor.
+func (n *Node) finishUse(p *sim.Proc, a memory.Addr) {
+	b := n.AS.BlockOf(a)
+	st := n.pendingUse[b]
+	if st == nil {
+		return
+	}
+	delete(n.pendingUse, b)
+	n.pendingUseN--
+	if st.deferred {
+		n.Post(p, n, MsgUseDone{Block: b})
+	}
+}
+
+// RecvCompute blocks the compute processor until a message satisfying want
+// arrives. Application signals (MsgSignal) arriving meanwhile are stashed
+// for PopSignal; any other message is a protocol bug.
+func (n *Node) RecvCompute(p *sim.Proc, want func(m any) bool) sim.Delivery {
+	for {
+		d := p.Recv()
+		if want(d.Msg) {
+			return d
+		}
+		if _, ok := d.Msg.(MsgSignal); ok {
+			n.sigStash = append(n.sigStash, d)
+			continue
+		}
+		panic(fmt.Sprintf("tempest: node %d compute got unexpected %T", n.ID, d.Msg))
+	}
+}
+
+// PopSignal returns the earliest stashed application signal, if any.
+func (n *Node) PopSignal() (sim.Delivery, bool) {
+	if len(n.sigStash) == 0 {
+		return sim.Delivery{}, false
+	}
+	d := n.sigStash[0]
+	n.sigStash = n.sigStash[1:]
+	return d, true
+}
+
+// ProtocolLoop is the protocol processor's body: dispatch messages to the
+// protocol until the simulation drains (the Proc runs as a daemon).
+func (n *Node) ProtocolLoop(p *sim.Proc) {
+	for {
+		d := p.Recv()
+		p.Advance(n.Net.RecvOverhead)
+		if n.Trace != nil {
+			if m, ok := d.Msg.(Msg); ok {
+				n.Trace.Add(p.Now(), n.ID, trace.Recv, "%s", MsgString(m))
+			}
+		}
+		n.Proto.Handle(n, d)
+	}
+}

@@ -1,0 +1,103 @@
+// Package trace records protocol events into a bounded ring buffer for
+// debugging and for assertions in tests. Tracing is off by default; the
+// runtime attaches a Ring to every node when the machine is configured
+// with Trace > 0.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"presto/internal/sim"
+)
+
+// Kind classifies a traced event.
+type Kind uint8
+
+const (
+	// Send is a message injected into the interconnect.
+	Send Kind = iota
+	// Recv is a message dispatched by a protocol processor.
+	Recv
+	// Fault is an access fault vectored on a compute processor.
+	Fault
+	// Note is a free-form protocol annotation.
+	Note
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Send:
+		return "send"
+	case Recv:
+		return "recv"
+	case Fault:
+		return "fault"
+	case Note:
+		return "note"
+	}
+	return "?"
+}
+
+// Event is one traced protocol event.
+type Event struct {
+	At   sim.Time
+	Node int
+	Kind Kind
+	What string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%12v n%-2d %-5s %s", e.At, e.Node, e.Kind, e.What)
+}
+
+// Ring is a bounded event log shared by all nodes of one machine.
+type Ring struct {
+	buf   []Event
+	next  int
+	total int64
+}
+
+// NewRing returns a ring holding the last cap events.
+func NewRing(cap int) *Ring {
+	if cap <= 0 {
+		cap = 256
+	}
+	return &Ring{buf: make([]Event, 0, cap)}
+}
+
+// Add appends an event, evicting the oldest when full.
+func (r *Ring) Add(at sim.Time, node int, kind Kind, format string, args ...any) {
+	e := Event{At: at, Node: node, Kind: kind, What: fmt.Sprintf(format, args...)}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+}
+
+// Total reports how many events have been recorded overall.
+func (r *Ring) Total() int64 { return r.total }
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	if len(r.buf) < cap(r.buf) {
+		return append([]Event(nil), r.buf...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dump renders the retained events as one string.
+func (r *Ring) Dump() string {
+	var b strings.Builder
+	for _, e := range r.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

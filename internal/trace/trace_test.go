@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"presto/internal/sim"
+)
+
+func TestRingRetainsLastEvents(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Add(sim.Time(i), i%3, Send, "event %d", i)
+	}
+	if r.Total() != 10 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	ev := r.Events()
+	if len(ev) != 4 {
+		t.Fatalf("retained = %d", len(ev))
+	}
+	// Oldest first, covering events 6..9.
+	for i, e := range ev {
+		want := 6 + i
+		if !strings.Contains(e.What, "event") || e.At != sim.Time(want) {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+	}
+}
+
+func TestRingPartialFill(t *testing.T) {
+	r := NewRing(8)
+	r.Add(1, 0, Fault, "f")
+	r.Add(2, 1, Recv, "r")
+	ev := r.Events()
+	if len(ev) != 2 || ev[0].Kind != Fault || ev[1].Kind != Recv {
+		t.Fatalf("events = %+v", ev)
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	r := NewRing(8)
+	r.Add(5*sim.Microsecond, 2, Send, "GetRO(%#x)", 0x40)
+	out := r.Dump()
+	for _, want := range []string{"n2", "send", "GetRO(0x40)", "5.000us"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{Send: "send", Recv: "recv", Fault: "fault", Note: "note"} {
+		if k.String() != want {
+			t.Fatalf("%d = %q", k, k.String())
+		}
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 300; i++ {
+		r.Add(sim.Time(i), 0, Note, "x")
+	}
+	if len(r.Events()) != 256 {
+		t.Fatalf("default cap = %d", len(r.Events()))
+	}
+}

@@ -1,0 +1,171 @@
+// Package update implements a write-update protocol of the kind used by
+// the hand-optimized SPMD Barnes baseline the paper compares against
+// (Falsafi et al., "Application-Specific Protocols for User-Level Shared
+// Memory"). Producers write their home-resident data without invalidating
+// consumers' read-only copies, then push fresh data directly to the
+// recorded consumers with an explicit application directive — one message
+// per producer-consumer transfer instead of Stache's four (paper §3.2).
+//
+// As the paper notes, update protocols do not preserve sequential
+// consistency and cannot be used in general: consumers may observe values
+// one push behind. The hand-optimized applications tolerate that, which
+// is exactly why they needed hand-written protocols.
+package update
+
+import (
+	"fmt"
+
+	"presto/internal/memory"
+	"presto/internal/sim"
+	"presto/internal/stache"
+	"presto/internal/tempest"
+)
+
+// Update is the write-update protocol. Everything except the
+// producer-consumer path inherits Stache behavior.
+type Update struct {
+	base *stache.Protocol
+
+	// regions restricts the update fast path to specific memory regions
+	// (nil = all). A hand-optimized application applies its custom
+	// protocol only to its producer-consumer data (e.g. body positions
+	// in SPMD Barnes) and leaves the rest under the default protocol.
+	regions map[int]bool
+}
+
+// New returns a write-update protocol instance applying to all regions.
+func New() *Update { return &Update{base: stache.New()} }
+
+// SetRegions restricts the update fast path to the given region IDs.
+func (u *Update) SetRegions(ids ...int) {
+	u.regions = make(map[int]bool, len(ids))
+	for _, id := range ids {
+		u.regions[id] = true
+	}
+}
+
+// applies reports whether the update fast path covers block b.
+func (u *Update) applies(b memory.Block) bool {
+	return u.regions == nil || u.regions[b.RegionID()]
+}
+
+type nodeState struct {
+	cache *stache.NodeState
+}
+
+// StacheState implements stache.StateHolder.
+func (ns *nodeState) StacheState() *stache.NodeState { return ns.cache }
+
+// Name implements tempest.Protocol.
+func (u *Update) Name() string { return "update" }
+
+// Init implements tempest.Protocol.
+func (u *Update) Init(n *tempest.Node) {
+	n.ProtoState = &nodeState{cache: stache.NewNodeState()}
+}
+
+// OnFault implements tempest.Protocol. A home-node write to a block with
+// outstanding read-only copies upgrades locally without invalidating the
+// sharers — they keep (stale) copies until the next push.
+func (u *Update) OnFault(n *tempest.Node, b memory.Block, write bool) bool {
+	if write && u.applies(b) && n.AS.HomeOf(b) == n.ID {
+		e := n.Dir.Entry(b)
+		if e.State == tempest.DirHome {
+			n.Store.SetTag(b, memory.ReadWrite)
+			return true
+		}
+	}
+	return u.base.OnFault(n, b, write)
+}
+
+// Handle implements tempest.Protocol.
+func (u *Update) Handle(n *tempest.Node, d sim.Delivery) {
+	switch m := d.Msg.(type) {
+	case tempest.MsgGetRO:
+		if !u.applies(m.Block) {
+			u.base.Handle(n, d)
+			return
+		}
+		// Home-side read grant that registers the consumer but leaves the
+		// home copy writable (no sequential consistency).
+		e := n.Dir.Entry(m.Block)
+		if e.State == tempest.DirHome {
+			if m.Req == n.ID {
+				n.WakeCompute(m.Block)
+				return
+			}
+			e.Sharers.Add(m.Req)
+			data := append([]byte(nil), n.Store.Data(m.Block)...)
+			n.Post(n.ProtoProc, n.Peers[m.Req], tempest.MsgDataRO{Block: m.Block, Data: data})
+			return
+		}
+		u.base.Handle(n, d)
+	case tempest.MsgUpdate:
+		u.installUpdate(n, m.Block, m.Data)
+	case tempest.MsgBulk:
+		// Pushed bulk updates.
+		for _, e := range m.Entries {
+			u.installUpdate(n, e.Block, e.Data)
+		}
+	default:
+		u.base.Handle(n, d)
+	}
+}
+
+// installUpdate refreshes a consumer's read-only copy in place.
+func (u *Update) installUpdate(n *tempest.Node, b memory.Block, data []byte) {
+	if l := n.Store.Line(b); l != nil && l.Tag == memory.ReadWrite {
+		panic(fmt.Sprintf("update: node %d: update for writable block %#x", n.ID, uint64(b)))
+	}
+	n.ProtoProc.Advance(n.InstallCost(len(data)))
+	n.Store.Install(b, data, memory.ReadOnly)
+	n.WakeCompute(b)
+}
+
+// Push multicasts the current contents of the given home-resident blocks
+// to their recorded consumers, coalescing contiguous blocks per
+// destination. It runs on the compute processor (an explicit directive in
+// the hand-optimized application) and is fire-and-forget: the application
+// synchronizes with a barrier afterwards.
+func (u *Update) Push(n *tempest.Node, src *sim.Proc, blocks []memory.Block) {
+	type pending struct {
+		last    memory.Block
+		entries []tempest.BulkEntry
+	}
+	bulks := make([]*pending, len(n.Peers))
+	flush := func(dst int) {
+		pb := bulks[dst]
+		if pb == nil || len(pb.entries) == 0 {
+			return
+		}
+		n.Post(src, n.Peers[dst], tempest.MsgBulk{Entries: pb.entries})
+		n.Stats.BulkMsgs++
+		pb.entries = nil
+	}
+	for _, b := range blocks {
+		if n.AS.HomeOf(b) != n.ID {
+			panic(fmt.Sprintf("update: node %d pushing non-home block %#x", n.ID, uint64(b)))
+		}
+		e := n.Dir.Lookup(b)
+		if e == nil || e.State != tempest.DirHome || e.Sharers.Empty() {
+			continue
+		}
+		data := n.Store.Data(b)
+		e.Sharers.ForEach(func(r int) {
+			pb := bulks[r]
+			if pb == nil {
+				pb = &pending{}
+				bulks[r] = pb
+			}
+			if len(pb.entries) > 0 && !n.AS.Contiguous(pb.last, b) {
+				flush(r)
+			}
+			pb.entries = append(pb.entries, tempest.BulkEntry{Block: b, Data: append([]byte(nil), data...)})
+			pb.last = b
+			n.Stats.PresendsSent++
+		})
+	}
+	for dst := range bulks {
+		flush(dst)
+	}
+}

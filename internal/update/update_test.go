@@ -1,0 +1,143 @@
+package update_test
+
+import (
+	"testing"
+
+	"presto/internal/memory"
+	"presto/internal/rt"
+	"presto/internal/update"
+)
+
+func TestLocalUpgradeKeepsSharers(t *testing.T) {
+	m := rt.New(rt.Config{Nodes: 2, BlockSize: 32, Protocol: rt.ProtoUpdate})
+	arr := m.NewArray1D("a", 2, 1, true)
+	if err := m.Run(func(w *rt.Worker) {
+		if w.ID == 1 {
+			w.ReadF64(arr.At(0, 0)) // register as consumer
+		}
+		w.Barrier()
+		if w.ID == 0 {
+			w.WriteF64(arr.At(0, 0), 4) // local upgrade, no invalidation
+		}
+		w.Barrier()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	home := m.Nodes[0]
+	b := m.AS.BlockOf(arr.At(0, 0))
+	e := home.Dir.Lookup(b)
+	if e == nil || !e.Sharers.Has(1) {
+		t.Fatalf("sharer lost: %+v", e)
+	}
+	if home.Store.Tag(b) != memory.ReadWrite {
+		t.Fatalf("home tag = %v", home.Store.Tag(b))
+	}
+	// Consumer holds a stale but readable copy (update semantics).
+	if m.Nodes[1].Store.Tag(b) != memory.ReadOnly {
+		t.Fatalf("consumer tag = %v", m.Nodes[1].Store.Tag(b))
+	}
+	// No write faults at all: the home tag stays writable under the
+	// update protocol (grants never downgrade it).
+	if c := m.Counters(); c.WriteFaults != 0 || c.MsgsSent > 4 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestPushRefreshesAllConsumers(t *testing.T) {
+	m := rt.New(rt.Config{Nodes: 4, BlockSize: 32, Protocol: rt.ProtoUpdate})
+	arr := m.NewArray1D("a", 16, 1, false) // blocks 0..3, one per node
+	reads := make([]float64, 4)
+	if err := m.Run(func(w *rt.Worker) {
+		if w.ID != 0 {
+			w.ReadF64(arr.At(0, 0)) // three consumers
+		}
+		w.Barrier()
+		if w.ID == 0 {
+			w.WriteF64(arr.At(0, 0), 11)
+			w.PushUpdates([]memory.Addr{arr.At(0, 0)})
+		}
+		w.Barrier()
+		w.Compute(1e6) // 1ms: let pushes land
+		if w.ID != 0 {
+			reads[w.ID] = w.ReadF64(arr.At(0, 0))
+		}
+		w.Barrier()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id < 4; id++ {
+		if reads[id] != 11 {
+			t.Fatalf("consumer %d read %v", id, reads[id])
+		}
+	}
+	if c := m.Counters(); c.PresendsSent != 3 {
+		t.Fatalf("pushed %d copies, want 3", c.PresendsSent)
+	}
+}
+
+func TestPushCoalescesContiguousBlocks(t *testing.T) {
+	m := rt.New(rt.Config{Nodes: 2, BlockSize: 32, Protocol: rt.ProtoUpdate})
+	arr := m.NewArray1D("a", 64, 1, false) // 8 blocks on node 0
+	if err := m.Run(func(w *rt.Worker) {
+		if w.ID == 1 {
+			for i := 0; i < 32; i += 4 {
+				w.ReadF64(arr.At(i, 0))
+			}
+		}
+		w.Barrier()
+		if w.ID == 0 {
+			addrs := []memory.Addr{}
+			for i := 0; i < 32; i++ {
+				w.WriteF64(arr.At(i, 0), 1)
+				addrs = append(addrs, arr.At(i, 0))
+			}
+			w.PushUpdates(addrs)
+		}
+		w.Barrier()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Counters()
+	if c.PresendsSent != 8 {
+		t.Fatalf("pushed blocks = %d, want 8", c.PresendsSent)
+	}
+	if c.BulkMsgs != 1 {
+		t.Fatalf("bulk messages = %d, want 1 (contiguous run)", c.BulkMsgs)
+	}
+}
+
+func TestSetRegionsRestrictsFastPath(t *testing.T) {
+	m := rt.New(rt.Config{Nodes: 2, BlockSize: 32, Protocol: rt.ProtoUpdate})
+	fast := m.NewArray1D("fast", 2, 1, true)
+	slow := m.NewArray1D("slow", 2, 1, true)
+	if u, ok := m.Proto.(*update.Update); ok {
+		u.SetRegions(fast.R.ID)
+	} else {
+		t.Fatal("not an update machine")
+	}
+	if err := m.Run(func(w *rt.Worker) {
+		if w.ID == 1 {
+			w.ReadF64(fast.At(0, 0))
+			w.ReadF64(slow.At(0, 0))
+		}
+		w.Barrier()
+		if w.ID == 0 {
+			w.WriteF64(fast.At(0, 0), 1) // update fast path: sharers kept
+			w.WriteF64(slow.At(0, 0), 1) // stache path: invalidates
+		}
+		w.Barrier()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bFast := m.AS.BlockOf(fast.At(0, 0))
+	bSlow := m.AS.BlockOf(slow.At(0, 0))
+	if !m.Nodes[0].Dir.Lookup(bFast).Sharers.Has(1) {
+		t.Fatal("fast region lost its sharer")
+	}
+	if e := m.Nodes[0].Dir.Lookup(bSlow); e.Sharers.Has(1) {
+		t.Fatal("slow region kept its sharer (should invalidate)")
+	}
+	if m.Nodes[1].Store.Tag(bSlow) != memory.Invalid {
+		t.Fatal("slow-region consumer copy not invalidated")
+	}
+}
