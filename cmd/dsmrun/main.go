@@ -6,17 +6,30 @@
 //
 //	dsmrun -app adaptive|barnes|water [-protocol stache|predictive|update]
 //	       [-nodes N] [-block B] [-spmd] [-splash] [-size N] [-iters N]
+//	       [-metrics out.json] [-trace-out t.json] [-trace-format chrome|jsonl]
+//
+// -metrics writes the machine's full metrics report (breakdown, per-phase
+// stats, protocol counters, histograms) as JSON; "-" selects stdout.
+// -trace-out streams the protocol event trace to a file: -trace-format
+// chrome (default) produces a Chrome trace_event file for
+// chrome://tracing or https://ui.perfetto.dev; jsonl produces one JSON
+// object per event. Virtual time makes both byte-identical across
+// identical runs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"presto/internal/apps/adaptive"
 	"presto/internal/apps/barnes"
 	"presto/internal/apps/water"
 	"presto/internal/rt"
+	"presto/internal/sim"
+	"presto/internal/trace"
 )
 
 func main() {
@@ -28,11 +41,38 @@ func main() {
 	iters := flag.Int("iters", 0, "iterations; 0 = paper count")
 	spmd := flag.Bool("spmd", false, "barnes: hand-optimized SPMD baseline (use -protocol update)")
 	splash := flag.Bool("splash", false, "water: Splash-2 shared-memory variant")
+	metricsOut := flag.String("metrics", "", "write the metrics report as JSON to this file (\"-\" = stdout)")
+	traceOut := flag.String("trace-out", "", "write the protocol event trace to this file")
+	traceFormat := flag.String("trace-format", "chrome", "trace format: chrome or jsonl")
 	flag.Parse()
 
 	mc := rt.Config{Nodes: *nodes, BlockSize: *block, Protocol: rt.ProtocolKind(*protocol)}
+
+	var traceFile *os.File
+	var chrome *trace.Chrome
+	var jsonl *trace.JSONL
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		traceFile = f
+		switch *traceFormat {
+		case "chrome":
+			chrome = trace.NewChrome()
+			mc.Sink = chrome
+		case "jsonl":
+			jsonl = trace.NewJSONL(f)
+			mc.Sink = jsonl
+		default:
+			fmt.Fprintf(os.Stderr, "dsmrun: unknown -trace-format %q (want chrome or jsonl)\n", *traceFormat)
+			os.Exit(2)
+		}
+	}
+
 	var b rt.Breakdown
 	var c rt.Counters
+	var m *rt.Machine
 	var extra string
 	var err error
 	switch *app {
@@ -40,21 +80,21 @@ func main() {
 		var r *adaptive.Result
 		r, err = adaptive.Run(adaptive.Config{Machine: mc, Size: *size, Iters: *iters})
 		if err == nil {
-			b, c = r.Breakdown, r.Counters
+			b, c, m = r.Breakdown, r.Counters, r.Machine
 			extra = fmt.Sprintf("refined cells: %d, checksum %.4f", r.Refined, r.Checksum)
 		}
 	case "barnes":
 		var r *barnes.Result
 		r, err = barnes.Run(barnes.Config{Machine: mc, Bodies: *size, Iters: *iters, SPMD: *spmd})
 		if err == nil {
-			b, c = r.Breakdown, r.Counters
+			b, c, m = r.Breakdown, r.Counters, r.Machine
 			extra = fmt.Sprintf("tree cells: %d, checksum %.4f", r.Cells, r.Checksum)
 		}
 	case "water":
 		var r *water.Result
 		r, err = water.Run(water.Config{Machine: mc, Molecules: *size, Steps: *iters, Splash: *splash})
 		if err == nil {
-			b, c = r.Breakdown, r.Counters
+			b, c, m = r.Breakdown, r.Counters, r.Machine
 			extra = fmt.Sprintf("energy checksum %.4f", r.Energy)
 		}
 	default:
@@ -62,8 +102,39 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dsmrun:", err)
-		os.Exit(1)
+		fatal(err)
+	}
+
+	if traceFile != nil {
+		switch {
+		case chrome != nil:
+			if err := chrome.Write(traceFile); err != nil {
+				fatal(err)
+			}
+		case jsonl != nil:
+			if err := jsonl.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		if err := traceFile.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *metricsOut != "" && m != nil {
+		out := os.Stdout
+		if *metricsOut != "-" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		rep := m.Report()
+		if err := writeJSON(out, rep); err != nil {
+			fatal(err)
+		}
 	}
 
 	fmt.Printf("%s on %d nodes, %dB blocks, %s protocol\n", *app, *nodes, *block, *protocol)
@@ -76,4 +147,36 @@ func main() {
 	fmt.Printf("  pre-sends         %d blocks (%d bulk messages, %d skipped, %d conflicts)\n",
 		c.PresendsSent, c.BulkMsgs, c.PresendsSkipped, c.Conflicts)
 	fmt.Printf("  %s\n", extra)
+	if m != nil {
+		printPhases(m)
+	}
+}
+
+// printPhases renders the per-phase breakdown when phases were recorded.
+func printPhases(m *rt.Machine) {
+	phases := m.PhaseBreakdown()
+	if len(phases) == 0 {
+		return
+	}
+	fmt.Printf("  per-phase (per-node averages):\n")
+	for _, p := range phases {
+		hit := ""
+		if p.PresendsIn > 0 {
+			hit = fmt.Sprintf(", coverage %.1f%%, accuracy %.1f%%", 100*p.Coverage(), 100*p.Accuracy())
+		}
+		fmt.Printf("    %-14s iters %-4d remote-wait %-12v presend %-12v faults %d%s\n",
+			p.Name, p.Iters, sim.Time(p.RemoteWaitNS), sim.Time(p.PresendNS), p.Faults(), hit)
+	}
+}
+
+// writeJSON renders v with stable two-space indentation.
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dsmrun:", err)
+	os.Exit(1)
 }

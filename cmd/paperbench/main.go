@@ -3,7 +3,11 @@
 // Usage:
 //
 //	paperbench [-experiment all|table1|figure4|figure5|figure6|figure7|sweep|ablate-*]
-//	           [-scale quick|paper] [-csv out.csv]
+//	           [-scale quick|paper] [-csv out.csv] [-json out.json]
+//
+// -json (default BENCH_results.json; "" disables) writes every
+// experiment's rows — including the per-phase metrics — as one
+// machine-readable JSON document.
 //
 // -scale paper runs the Table 1 workload sizes on 32 simulated nodes
 // (minutes of wall clock); -scale quick (default) runs CI-sized versions
@@ -23,6 +27,7 @@ func main() {
 	expID := flag.String("experiment", "all", "experiment ID or 'all'")
 	scaleStr := flag.String("scale", "quick", "workload scale: quick or paper")
 	csvPath := flag.String("csv", "", "also write rows as CSV to this file")
+	jsonPath := flag.String("json", "BENCH_results.json", "write machine-readable results to this file (\"\" disables)")
 	flag.Parse()
 
 	scale := harness.ParseScale(*scaleStr)
@@ -52,6 +57,7 @@ func main() {
 		csv = f
 	}
 
+	var results []*harness.Result
 	for _, e := range exps {
 		start := time.Now()
 		res, err := e.Run(scale)
@@ -64,6 +70,24 @@ func main() {
 		if csv != nil {
 			res.CSV(csv)
 		}
+		results = append(results, res)
 		fmt.Printf("(%s finished in %v at %s scale)\n\n", e.ID, time.Since(start).Round(time.Millisecond), *scaleStr)
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := harness.WriteJSON(f, results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 }

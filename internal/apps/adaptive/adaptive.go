@@ -92,6 +92,10 @@ func Run(cfg Config) (*Result, error) {
 	c := cfg.Defaults()
 	n := c.Size
 	m := rt.New(c.Machine)
+	m.NamePhase(PhaseInit, "init")
+	m.NamePhase(PhaseSweepA, "sweep-a")
+	m.NamePhase(PhaseSweepB, "sweep-b")
+	m.NamePhase(PhaseRefine, "refine")
 
 	cur := m.NewGrid2D("cur", n, n, 1, rt.RowBlock)
 	next := m.NewGrid2D("next", n, n, 1, rt.RowBlock)

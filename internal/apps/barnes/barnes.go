@@ -161,6 +161,10 @@ func Run(cfg Config) (*Result, error) {
 	c := cfg.Defaults()
 	n := c.Bodies
 	m := rt.New(c.Machine)
+	m.NamePhase(PhaseClassify, "classify")
+	m.NamePhase(PhaseBuild, "tree-build")
+	m.NamePhase(PhaseForces, "forces")
+	m.NamePhase(PhaseAdvance, "advance")
 	P := m.Cfg.Nodes
 
 	// Bodies: x, y, z, mass (one 32-byte element per body).

@@ -140,8 +140,11 @@ func Run(cfg Config) (*Result, error) {
 		Protocol:  c.machineProtocol(),
 		Net:       c.Machine.Net,
 		Trace:     c.Machine.Trace,
+		Sink:      c.Machine.Sink,
 		MaxEvents: c.Machine.MaxEvents,
 	})
+	m.NamePhase(PhaseDual, "dual-update")
+	m.NamePhase(PhasePrimal, "primal-relax")
 	P := m.Cfg.Nodes
 
 	primal := m.NewArray1D("primal", c.Primal, 1, false)

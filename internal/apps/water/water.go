@@ -102,6 +102,11 @@ func RunDebug(cfg Config, maxEvents int64) (*Result, error) {
 	c := cfg.Defaults()
 	n := c.Molecules
 	m := rt.New(c.Machine)
+	m.NamePhase(PhaseAdvance, "advance")
+	m.NamePhase(PhaseForces, "forces")
+	m.NamePhase(PhaseCorrect, "correct")
+	m.NamePhase(PhaseForces+10, "forces-splash")
+	m.NamePhase(PhaseCorrect+10, "correct-splash")
 	m.Kernel.MaxEvents = maxEvents
 
 	// Positions: 4 float64 fields (x, y, z, pad) so one molecule occupies

@@ -14,30 +14,74 @@ import (
 	"presto/internal/memory"
 	"presto/internal/rt"
 	"presto/internal/tempest"
+	"presto/internal/trace"
 )
+
+// violationEvents caps the trace context attached to each violation.
+const violationEvents = 16
 
 // Violation describes one invariant failure.
 type Violation struct {
 	Block memory.Block
 	Home  int
 	Msg   string
+	// Events holds the last traced protocol events involving the block's
+	// home node and any implicated remote nodes (populated when the
+	// machine ran with a trace ring attached).
+	Events []trace.Event
 }
 
 func (v Violation) String() string {
-	return fmt.Sprintf("block %#x (home %d): %s", uint64(v.Block), v.Home, v.Msg)
+	s := fmt.Sprintf("block %#x (home %d): %s", uint64(v.Block), v.Home, v.Msg)
+	if len(v.Events) > 0 {
+		var b bytes.Buffer
+		b.WriteString(s)
+		fmt.Fprintf(&b, "\n  last %d trace events for implicated nodes:", len(v.Events))
+		for _, e := range v.Events {
+			fmt.Fprintf(&b, "\n    %v", e)
+		}
+		return b.String()
+	}
+	return s
 }
 
 // Machine audits every materialized directory entry of a finished
-// machine and returns all invariant violations found.
+// machine and returns all invariant violations found. When the machine
+// ran with a trace ring, each violation carries the tail of the protocol
+// event log for the offending block's home and implicated remote nodes.
 func Machine(m *rt.Machine) []Violation {
 	var out []Violation
 	valueCheck := m.Cfg.Protocol != rt.ProtoUpdate
 	for _, home := range m.Nodes {
 		home.Dir.ForEach(func(b memory.Block, e *tempest.DirEntry) {
-			out = append(out, auditEntry(m, home, b, e, valueCheck)...)
+			vs := auditEntry(m, home, b, e, valueCheck)
+			if len(vs) > 0 && m.Ring != nil {
+				nodes := implicatedNodes(home.ID, e)
+				evs := m.Ring.EventsFor(nodes, violationEvents)
+				for i := range vs {
+					vs[i].Events = evs
+				}
+			}
+			out = append(out, vs...)
 		})
 	}
 	return out
+}
+
+// implicatedNodes lists the nodes whose trace history explains a
+// violation on this entry: the home, the exclusive owner, and any
+// recorded sharers.
+func implicatedNodes(home int, e *tempest.DirEntry) []int {
+	nodes := []int{home}
+	if e.State == tempest.DirRemoteExcl && e.Owner >= 0 && e.Owner != home {
+		nodes = append(nodes, e.Owner)
+	}
+	e.Sharers.ForEach(func(id int) {
+		if id != home {
+			nodes = append(nodes, id)
+		}
+	})
+	return nodes
 }
 
 func auditEntry(m *rt.Machine, home *tempest.Node, b memory.Block, e *tempest.DirEntry, valueCheck bool) []Violation {

@@ -2,6 +2,7 @@ package check
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"presto/internal/memory"
@@ -125,5 +126,72 @@ func TestUpdateProtocolExemptFromValueCheck(t *testing.T) {
 	}
 	for _, v := range Machine(m) {
 		t.Fatalf("update run flagged: %s", v)
+	}
+}
+
+func TestViolationCarriesTraceEvents(t *testing.T) {
+	// With a trace ring attached, a violation must carry the tail of the
+	// protocol event log for the offending block's home and any
+	// implicated remote nodes.
+	m := rt.New(rt.Config{Nodes: 2, BlockSize: 32, Protocol: rt.ProtoStache, Trace: 128})
+	arr := m.NewArray1D("a", 8, 1, false)
+	err := m.Run(func(w *rt.Worker) {
+		if w.ID == 1 {
+			w.ReadF64(arr.At(0, 0)) // remote read: traffic involving node 0 and 1
+		}
+		w.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt node 1's copy tag behind the directory's back.
+	b := m.AS.BlockOf(arr.At(0, 0))
+	home := m.AS.HomeOf(b)
+	e := m.Nodes[home].Dir.Lookup(b)
+	if e == nil {
+		t.Fatal("no directory entry for the read block")
+	}
+	l := m.Nodes[1].Store.Ensure(b)
+	l.Tag = memory.ReadWrite // sharer claiming writability
+	vs := Machine(m)
+	if len(vs) == 0 {
+		t.Fatal("checker missed the corruption")
+	}
+	found := false
+	for _, v := range vs {
+		if len(v.Events) == 0 {
+			continue
+		}
+		found = true
+		for _, ev := range v.Events {
+			if ev.Node != home && ev.Node != 1 {
+				t.Fatalf("event for unimplicated node %d: %v", ev.Node, ev)
+			}
+		}
+		s := v.String()
+		if !strings.Contains(s, "trace events") {
+			t.Fatalf("violation string lacks trace context:\n%s", s)
+		}
+	}
+	if !found {
+		t.Fatal("no violation carried trace events despite an attached ring")
+	}
+}
+
+func TestViolationNoRingNoEvents(t *testing.T) {
+	m := runRandom(t, rt.ProtoStache, 5, 32)
+	if m.Ring != nil {
+		t.Fatal("runRandom unexpectedly attached a ring")
+	}
+	// Corrupting without a ring must still produce violations, just
+	// without event context (and without panicking).
+	reg := m.AS.Regions()[0]
+	b := m.AS.BlockOf(reg.Addr(0))
+	l := m.Nodes[(m.AS.HomeOf(b)+1)%len(m.Nodes)].Store.Ensure(b)
+	l.Tag = memory.ReadOnly
+	for _, v := range Machine(m) {
+		if len(v.Events) != 0 {
+			t.Fatalf("events attached without a ring: %+v", v)
+		}
 	}
 }

@@ -186,6 +186,9 @@ func (p *Predictive) BeginPhase(n *tempest.Node, phase int) sim.Time {
 	})
 	dt := n.Compute.Now() - start
 	n.Stats.Presend += dt
+	if ps := n.CurPhase(); ps != nil {
+		ps.PresendNS += int64(dt)
+	}
 	return dt
 }
 
@@ -240,7 +243,7 @@ func (p *Predictive) runPresend(n *tempest.Node, phase int) {
 		if pb == nil || len(pb.entries) == 0 {
 			return
 		}
-		msg := tempest.MsgBulk{Entries: pb.entries}
+		msg := tempest.MsgBulk{Entries: pb.entries, Presend: true}
 		n.Post(n.ProtoProc, n.Peers[dst], msg)
 		n.Stats.BulkMsgs++
 		pb.entries = nil

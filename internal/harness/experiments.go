@@ -177,7 +177,7 @@ func runFigure5(scale Scale) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", v.label, err)
 		}
-		res.Rows = append(res.Rows, Row{Label: v.label, BlockSize: v.bs, B: r.Breakdown, C: r.Counters})
+		res.Rows = append(res.Rows, Row{Label: v.label, BlockSize: v.bs, B: r.Breakdown, C: r.Counters, Phases: r.Machine.PhaseBreakdown()})
 	}
 	bestOpt, _ := res.Best("C** opt")
 	bestUnopt, _ := res.Best("C** unopt")
@@ -209,7 +209,7 @@ func runFigure6(scale Scale) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", v.label, err)
 		}
-		res.Rows = append(res.Rows, Row{Label: v.label, BlockSize: v.bs, B: r.Breakdown, C: r.Counters})
+		res.Rows = append(res.Rows, Row{Label: v.label, BlockSize: v.bs, B: r.Breakdown, C: r.Counters, Phases: r.Machine.PhaseBreakdown()})
 	}
 	o32, _ := res.Find("C** opt (32)")
 	u32, _ := res.Find("C** unopt (32)")
@@ -243,7 +243,7 @@ func runFigure7(scale Scale) (*Result, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%s(%d): %w", v.prefix, bs, err)
 			}
-			row := Row{Label: fmt.Sprintf("%s (%d)", v.prefix, bs), BlockSize: bs, B: r.Breakdown, C: r.Counters}
+			row := Row{Label: fmt.Sprintf("%s (%d)", v.prefix, bs), BlockSize: bs, B: r.Breakdown, C: r.Counters, Phases: r.Machine.PhaseBreakdown()}
 			if best == nil || row.Total() < best.Total() {
 				b := row
 				best = &b
@@ -288,6 +288,7 @@ func runInspector(scale Scale) (*Result, error) {
 				Label:     fmt.Sprintf("%s mesh, %s", mesh.tag, strat),
 				BlockSize: base.Machine.BlockSize,
 				B:         r.Breakdown, C: r.Counters,
+				Phases: r.Machine.PhaseBreakdown(),
 			})
 		}
 	}
@@ -315,7 +316,7 @@ func runSweep(scale Scale) (*Result, error) {
 			}
 			res.Rows = append(res.Rows, Row{
 				Label: fmt.Sprintf("water %s (%d)", v.label, bs), BlockSize: bs,
-				B: r.Breakdown, C: r.Counters,
+				B: r.Breakdown, C: r.Counters, Phases: r.Machine.PhaseBreakdown(),
 			})
 		}
 	}
@@ -350,7 +351,7 @@ func runPlatforms(scale Scale) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			row := Row{Label: fmt.Sprintf("%s %s", pl.tag, v.label), BlockSize: 32, B: r.Breakdown, C: r.Counters}
+			row := Row{Label: fmt.Sprintf("%s %s", pl.tag, v.label), BlockSize: 32, B: r.Breakdown, C: r.Counters, Phases: r.Machine.PhaseBreakdown()}
 			res.Rows = append(res.Rows, row)
 			if v.label == "unopt" {
 				pr.unopt = row
@@ -380,7 +381,7 @@ func runAblateCoalesce(scale Scale) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		row := Row{Label: v.label, BlockSize: 32, B: r.Breakdown, C: r.Counters}
+		row := Row{Label: v.label, BlockSize: 32, B: r.Breakdown, C: r.Counters, Phases: r.Machine.PhaseBreakdown()}
 		res.Rows = append(res.Rows, row)
 	}
 	on := res.Rows[0]
@@ -420,7 +421,7 @@ func runAblateConflicts(scale Scale) (*Result, error) {
 		if err != nil {
 			return err
 		}
-		res.Rows = append(res.Rows, Row{Label: label, BlockSize: 64, B: m.Breakdown(), C: m.Counters()})
+		res.Rows = append(res.Rows, Row{Label: label, BlockSize: 64, B: m.Breakdown(), C: m.Counters(), Phases: m.PhaseBreakdown()})
 		return nil
 	}
 	if err := run("conflicts not pre-sent (paper)", false); err != nil {
@@ -474,7 +475,7 @@ func runAblateFlush(scale Scale) (*Result, error) {
 		if err != nil {
 			return err
 		}
-		res.Rows = append(res.Rows, Row{Label: label, BlockSize: 32, B: m.Breakdown(), C: m.Counters()})
+		res.Rows = append(res.Rows, Row{Label: label, BlockSize: 32, B: m.Breakdown(), C: m.Counters(), Phases: m.PhaseBreakdown()})
 		return nil
 	}
 	if err := run("never flush (paper default)", 0, 0); err != nil {

@@ -41,6 +41,9 @@ type Row struct {
 	BlockSize int
 	B         rt.Breakdown
 	C         rt.Counters
+	// Phases is the per-parallel-phase breakdown (empty for rows whose
+	// runner predates phase attribution).
+	Phases []rt.PhaseStat
 }
 
 // Total returns the row's execution time.
@@ -129,6 +132,7 @@ func (res *Result) Render(w io.Writer) {
 			strings.Repeat("#", cs), strings.Repeat("p", ps), strings.Repeat("r", rw))
 	}
 	fmt.Fprintln(w, "\n  # compute+synch   p predictive protocol (pre-send)   r remote-data wait")
+	res.renderPhases(w)
 	if len(res.Notes) > 0 {
 		fmt.Fprintln(w)
 		for _, n := range res.Notes {
@@ -136,6 +140,36 @@ func (res *Result) Render(w io.Writer) {
 		}
 	}
 	fmt.Fprintln(w)
+}
+
+// renderPhases prints each row's per-phase breakdown: where the time went
+// and how much of the communication the pre-send anticipated.
+func (res *Result) renderPhases(w io.Writer) {
+	any := false
+	for _, r := range res.Rows {
+		if len(r.Phases) > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	fmt.Fprintf(w, "\nper-phase breakdown (times are per-node averages):\n")
+	fmt.Fprintf(w, "  %-26s %-14s %6s %12s %12s %8s %9s %9s\n",
+		"version", "phase", "iters", "remote-wait", "presend", "faults", "presends", "hit-rate")
+	for _, r := range res.Rows {
+		for _, p := range r.Phases {
+			hit := "-"
+			if p.PresendsIn > 0 {
+				hit = fmt.Sprintf("%8.1f%%", 100*p.Coverage())
+			}
+			fmt.Fprintf(w, "  %-26s %-14s %6d %12v %12v %8d %9d %9s\n",
+				r.Label, p.Name, p.Iters,
+				sim.Time(p.RemoteWaitNS), sim.Time(p.PresendNS),
+				p.Faults(), p.PresendsIn, hit)
+		}
+	}
 }
 
 // CSV renders the rows as comma-separated values for external plotting.

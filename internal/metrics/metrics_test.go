@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"presto/internal/sim"
+)
+
+func TestCounter(t *testing.T) {
+	r := New()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("value = %d", c.Value())
+	}
+	if r.Counter("x") != c {
+		t.Fatal("re-lookup returned a different counter")
+	}
+	c.Set(9)
+	if c.Value() != 9 {
+		t.Fatalf("after Set, value = %d", c.Value())
+	}
+}
+
+func TestTimer(t *testing.T) {
+	var tm Timer
+	tm.Observe(10 * sim.Microsecond)
+	tm.Observe(30 * sim.Microsecond)
+	if tm.Count() != 2 || tm.Total() != 40*sim.Microsecond || tm.Mean() != 20*sim.Microsecond {
+		t.Fatalf("timer = %+v", tm)
+	}
+	var empty Timer
+	if empty.Mean() != 0 {
+		t.Fatal("empty timer mean != 0")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// Bucket i holds values with bit length i: 0 -> bucket 0, 1 -> 1,
+	// 2..3 -> 2, 4..7 -> 3, ...
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, 1023, -5} {
+		h.Observe(v)
+	}
+	if h.Count() != 9 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 1023 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	wantBuckets := map[int]int64{0: 2, 1: 1, 2: 2, 3: 2, 4: 1, 10: 1} // -5 clamps to 0
+	for i, want := range wantBuckets {
+		if got := h.Bucket(i); got != want {
+			t.Fatalf("bucket %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestSnapshotSortedAndDeterministic(t *testing.T) {
+	r := New()
+	r.Counter("zz").Add(1)
+	r.Counter("aa").Add(2)
+	r.Timer("t").Observe(5)
+	r.Histogram("h").Observe(100)
+	s := r.Snapshot()
+	if len(s.Counters) != 2 || s.Counters[0].Name != "aa" || s.Counters[1].Name != "zz" {
+		t.Fatalf("counters not sorted: %+v", s.Counters)
+	}
+	if s.Counter("aa") != 2 || s.Counter("missing") != 0 {
+		t.Fatalf("snapshot lookup failed: %+v", s.Counters)
+	}
+	var b1, b2 bytes.Buffer
+	if err := s.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot().WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("two snapshots of the same registry differ")
+	}
+}
+
+func TestSnapshotHistogramUpperBounds(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat")
+	h.Observe(6) // bucket 3, le 7
+	s := r.Snapshot()
+	if len(s.Histograms) != 1 || len(s.Histograms[0].Buckets) != 1 {
+		t.Fatalf("histograms = %+v", s.Histograms)
+	}
+	if b := s.Histograms[0].Buckets[0]; b.Le != 7 || b.Count != 1 {
+		t.Fatalf("bucket = %+v", b)
+	}
+}
+
+func TestPhaseStatsRates(t *testing.T) {
+	var set PhaseSet
+	p := set.Phase(3)
+	p.PresendHits = 6
+	p.PresendsIn = 8
+	p.ReadFaults = 2
+	if got := p.Coverage(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("coverage = %v", got)
+	}
+	if got := p.Accuracy(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("accuracy = %v", got)
+	}
+	p.ResetHits()
+	if p.PresendsIn != 0 || p.PresendHits != 0 {
+		t.Fatalf("ResetHits left %+v", p)
+	}
+	if p.ReadFaults != 2 {
+		t.Fatal("ResetHits must not clear fault counts")
+	}
+	if set.Phase(3) != p {
+		t.Fatal("Phase not idempotent")
+	}
+	if set.Lookup(99) != nil {
+		t.Fatal("Lookup of absent phase != nil")
+	}
+}
+
+func TestPhaseSetAllSorted(t *testing.T) {
+	var set PhaseSet
+	for _, id := range []int{7, 1, 4} {
+		set.Phase(id)
+	}
+	all := set.All()
+	if len(all) != 3 || all[0].Phase != 1 || all[1].Phase != 4 || all[2].Phase != 7 {
+		t.Fatalf("All() = %+v", all)
+	}
+}
+
+func TestEmptyPhaseRates(t *testing.T) {
+	var p PhaseStats
+	if p.Coverage() != 0 || p.Accuracy() != 0 {
+		t.Fatal("empty phase must report zero rates")
+	}
+}

@@ -12,9 +12,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 
 	"presto/internal/core"
 	"presto/internal/memory"
+	"presto/internal/metrics"
 	"presto/internal/network"
 	"presto/internal/sim"
 	"presto/internal/stache"
@@ -54,6 +56,10 @@ type Config struct {
 	// Trace, when positive, attaches a shared protocol-event ring of that
 	// capacity to every node (debugging/tests).
 	Trace int
+	// Sink, when non-nil, also receives every protocol trace event (a
+	// JSONL stream or Chrome trace_event exporter; see internal/trace).
+	// Trace and Sink compose: events fan out to both.
+	Sink trace.Sink
 	// MaxEvents, when positive, bounds simulation events (livelock guard).
 	MaxEvents int64
 	// FlushEvery, when positive, makes the predictive protocol rebuild
@@ -90,21 +96,28 @@ type Machine struct {
 
 	// Ring is the shared protocol trace when Cfg.Trace > 0.
 	Ring *trace.Ring
+	// Reg is the machine's metrics registry; every node's instruments
+	// register here under an "nNN/" prefix.
+	Reg *metrics.Registry
 
-	barrier  *sim.Barrier
-	redBufs  [2][]float64
-	combBufs [][]float64
-	ends     []sim.Time
-	ran      bool
+	barrier    *sim.Barrier
+	redBufs    [2][]float64
+	combBufs   [][]float64
+	ends       []sim.Time
+	ran        bool
+	flowSeq    int64
+	phaseNames map[int]string
 }
 
 // New builds a machine for the given configuration.
 func New(cfg Config) *Machine {
 	c := cfg.withDefaults()
 	m := &Machine{
-		Cfg:    c,
-		Kernel: sim.NewKernel(),
-		AS:     memory.NewAddressSpace(c.Nodes, c.BlockSize),
+		Cfg:        c,
+		Kernel:     sim.NewKernel(),
+		AS:         memory.NewAddressSpace(c.Nodes, c.BlockSize),
+		Reg:        metrics.New(),
+		phaseNames: make(map[int]string),
 	}
 	switch c.Protocol {
 	case ProtoStache:
@@ -141,10 +154,17 @@ func (m *Machine) Run(prog Program) error {
 		ring = trace.NewRing(c.Trace)
 		m.Ring = ring
 	}
+	sink := c.Sink
+	if ring != nil {
+		sink = trace.Multi(ring, c.Sink)
+	}
 	m.Nodes = make([]*tempest.Node, c.Nodes)
 	for i := 0; i < c.Nodes; i++ {
-		m.Nodes[i] = tempest.NewNode(i, m.AS, c.Net, m.Proto)
-		m.Nodes[i].Trace = ring
+		n := tempest.NewNode(i, m.AS, c.Net, m.Proto)
+		n.Trace = sink
+		n.FlowSeq = &m.flowSeq
+		n.UseMetrics(m.Reg)
+		m.Nodes[i] = n
 	}
 	for _, n := range m.Nodes {
 		n.Peers = m.Nodes
@@ -255,6 +275,131 @@ func (m *Machine) PerNode() []Breakdown {
 		}
 	}
 	return out
+}
+
+// NamePhase attaches a human-readable name to a parallel-phase ID, used by
+// trace spans and the per-phase breakdown. Call before Run.
+func (m *Machine) NamePhase(id int, name string) {
+	m.phaseNames[id] = name
+}
+
+// PhaseName returns the registered name for a phase, or "phase <id>".
+func (m *Machine) PhaseName(id int) string {
+	if s, ok := m.phaseNames[id]; ok {
+		return s
+	}
+	return fmt.Sprintf("phase %d", id)
+}
+
+// PhaseStat is the machine-level per-phase breakdown: times are averages
+// over nodes (like Breakdown), event counts are sums.
+type PhaseStat struct {
+	Phase int    `json:"phase"`
+	Name  string `json:"name"`
+	// Iters is the executions of the phase directive per node.
+	Iters int64 `json:"iters"`
+	// Per-node average times (virtual ns).
+	ComputeNS    int64 `json:"compute_ns"`
+	RemoteWaitNS int64 `json:"remote_wait_ns"`
+	PresendNS    int64 `json:"presend_ns"`
+	SyncNS       int64 `json:"sync_ns"`
+	// Machine-wide event sums.
+	ReadFaults  int64 `json:"read_faults"`
+	WriteFaults int64 `json:"write_faults"`
+	PresendsIn  int64 `json:"presends_in"`
+	PresendHits int64 `json:"presend_hits"`
+}
+
+// Faults is the phase's total access faults.
+func (p PhaseStat) Faults() int64 { return p.ReadFaults + p.WriteFaults }
+
+// Coverage is the fraction of would-be faults the pre-send averted:
+// hits / (hits + faults). Zero when the phase had no remote accesses.
+func (p PhaseStat) Coverage() float64 {
+	d := p.PresendHits + p.Faults()
+	if d == 0 {
+		return 0
+	}
+	return float64(p.PresendHits) / float64(d)
+}
+
+// Accuracy is the fraction of pre-sent blocks actually consumed:
+// hits / presends-received. Zero when nothing was pre-sent.
+func (p PhaseStat) Accuracy() float64 {
+	if p.PresendsIn == 0 {
+		return 0
+	}
+	return float64(p.PresendHits) / float64(p.PresendsIn)
+}
+
+// PhaseBreakdown aggregates every node's per-phase stats, sorted by phase
+// ID. Iters is per-node (they agree under SPMD execution).
+func (m *Machine) PhaseBreakdown() []PhaseStat {
+	agg := make(map[int]*PhaseStat)
+	for _, n := range m.Nodes {
+		for _, ps := range n.Met.Phases.All() {
+			a := agg[ps.Phase]
+			if a == nil {
+				a = &PhaseStat{Phase: ps.Phase, Name: m.PhaseName(ps.Phase)}
+				agg[ps.Phase] = a
+			}
+			if ps.Iters > a.Iters {
+				a.Iters = ps.Iters
+			}
+			a.ComputeNS += ps.ComputeNS
+			a.RemoteWaitNS += ps.RemoteWaitNS
+			a.PresendNS += ps.PresendNS
+			a.SyncNS += ps.SyncNS
+			a.ReadFaults += ps.ReadFaults
+			a.WriteFaults += ps.WriteFaults
+			a.PresendsIn += ps.PresendsIn
+			a.PresendHits += ps.PresendHits
+		}
+	}
+	out := make([]PhaseStat, 0, len(agg))
+	for _, a := range agg {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Phase < out[j].Phase })
+	nn := int64(len(m.Nodes))
+	if nn > 0 {
+		for i := range out {
+			out[i].ComputeNS /= nn
+			out[i].RemoteWaitNS /= nn
+			out[i].PresendNS /= nn
+			out[i].SyncNS /= nn
+		}
+	}
+	return out
+}
+
+// MetricsReport is the machine's full post-run metrics export
+// (dsmrun -metrics).
+type MetricsReport struct {
+	Protocol  string            `json:"protocol"`
+	Nodes     int               `json:"nodes"`
+	BlockSize int               `json:"block_size"`
+	ElapsedNS int64             `json:"elapsed_ns"`
+	Breakdown Breakdown         `json:"breakdown"`
+	Counters  Counters          `json:"counters"`
+	Phases    []PhaseStat       `json:"phases"`
+	Kernel    sim.KernelStats   `json:"kernel"`
+	Registry  *metrics.Snapshot `json:"registry"`
+}
+
+// Report assembles the metrics export. Call after Run.
+func (m *Machine) Report() MetricsReport {
+	return MetricsReport{
+		Protocol:  string(m.Cfg.Protocol),
+		Nodes:     m.Cfg.Nodes,
+		BlockSize: m.Cfg.BlockSize,
+		ElapsedNS: int64(m.Elapsed()),
+		Breakdown: m.Breakdown(),
+		Counters:  m.Counters(),
+		Phases:    m.PhaseBreakdown(),
+		Kernel:    m.Kernel.Stats(),
+		Registry:  m.Reg.Snapshot(),
+	}
 }
 
 // SnapshotF64 reads a shared value after the run completes, consulting the

@@ -4,6 +4,7 @@ import (
 	"presto/internal/memory"
 	"presto/internal/sim"
 	"presto/internal/tempest"
+	"presto/internal/trace"
 	"presto/internal/update"
 )
 
@@ -27,6 +28,9 @@ func (w *Worker) Nodes() int { return w.M.Cfg.Nodes }
 // Compute models t of application computation.
 func (w *Worker) Compute(t sim.Time) {
 	w.Node.Stats.Compute += t
+	if ps := w.Node.CurPhase(); ps != nil {
+		ps.ComputeNS += int64(t)
+	}
 	w.P.Advance(t)
 }
 
@@ -61,6 +65,9 @@ func (w *Worker) WriteU32(a memory.Addr, v uint32) { w.Node.WriteU32(w.P, a, v) 
 func (w *Worker) Barrier() {
 	wait := w.P.Wait(w.M.barrier)
 	w.Node.Stats.Sync += wait
+	if ps := w.Node.CurPhase(); ps != nil {
+		ps.SyncNS += int64(wait)
+	}
 }
 
 // Phase executes body as compiler-identified parallel phase id. On a
@@ -74,8 +81,10 @@ func (w *Worker) Phase(id int, body func()) {
 	if w.seen == nil {
 		w.seen = make(map[int]int)
 	}
-	first := w.seen[id] == 0
+	iter := w.seen[id]
+	first := iter == 0
 	w.seen[id]++
+	w.beginPhase(id, iter)
 	pp, predictive := w.M.Proto.(tempest.PhaseProtocol)
 	if predictive {
 		pp.BeginPhase(w.Node, id)
@@ -83,6 +92,9 @@ func (w *Worker) Phase(id int, body func()) {
 			// Stabilization barrier after the pre-send (paper §3.4).
 			wait := w.P.Wait(w.M.barrier)
 			w.Node.Stats.Presend += wait
+			if ps := w.Node.CurPhase(); ps != nil {
+				ps.PresendNS += int64(wait)
+			}
 		}
 	}
 	body()
@@ -90,6 +102,32 @@ func (w *Worker) Phase(id int, body func()) {
 	if predictive {
 		pp.EndPhase(w.Node, id)
 	}
+	w.endPhase(id, iter)
+}
+
+// beginPhase enters the phase metrics context and records the trace span
+// opening on this node's compute track.
+func (w *Worker) beginPhase(id, iter int) {
+	w.Node.BeginPhaseMetrics(id, iter)
+	if w.Node.Trace != nil {
+		w.Node.Trace.Record(trace.Event{
+			At: w.P.Now(), Node: w.ID, Proc: trace.ProcCompute,
+			Kind: trace.PhaseBegin, Phase: id, Iter: iter,
+			What: w.M.PhaseName(id),
+		})
+	}
+}
+
+// endPhase closes the trace span and leaves the metrics context.
+func (w *Worker) endPhase(id, iter int) {
+	if w.Node.Trace != nil {
+		w.Node.Trace.Record(trace.Event{
+			At: w.P.Now(), Node: w.ID, Proc: trace.ProcCompute,
+			Kind: trace.PhaseEnd, Phase: id, Iter: iter,
+			What: w.M.PhaseName(id),
+		})
+	}
+	w.Node.EndPhaseMetrics()
 }
 
 // Directive runs a compiler-placed phase directive decoupled from the
@@ -97,19 +135,28 @@ func (w *Worker) Phase(id int, body func()) {
 // directive precedes a loop of parallel calls): the pre-send executes and
 // recording for phase id begins. On non-phase protocols it is a no-op.
 func (w *Worker) Directive(id int) {
+	if w.seen == nil {
+		w.seen = make(map[int]int)
+	}
+	iter := w.seen[id]
+	first := iter == 0
+	w.seen[id]++
+	if cur, it := w.Node.PhaseContext(); cur >= 0 {
+		// A new directive ends the previous one's attribution span.
+		w.endPhase(cur, it)
+	}
+	w.beginPhase(id, iter)
 	pp, ok := w.M.Proto.(tempest.PhaseProtocol)
 	if !ok {
 		return
 	}
-	if w.seen == nil {
-		w.seen = make(map[int]int)
-	}
-	first := w.seen[id] == 0
-	w.seen[id]++
 	pp.BeginPhase(w.Node, id)
 	if !first {
 		wait := w.P.Wait(w.M.barrier)
 		w.Node.Stats.Presend += wait
+		if ps := w.Node.CurPhase(); ps != nil {
+			ps.PresendNS += int64(wait)
+		}
 	}
 }
 
@@ -129,6 +176,9 @@ func (w *Worker) FlushSchedules(id int) {
 	}); ok {
 		p.FlushSchedules(w.Node, id)
 	}
+	// A flushed schedule restarts its learning: reset the node's schedule
+	// hit/consumption counters so coverage reflects the new schedule.
+	w.Node.ResetPresendCounters(id)
 }
 
 // PushUpdates multicasts the current contents of home-resident blocks to

@@ -182,6 +182,33 @@ type Kernel struct {
 	// process — a guard against protocol livelock in tests.
 	MaxEvents int64
 	processed int64
+
+	deliveries int64
+	resumes    int64
+	maxQueue   int
+}
+
+// KernelStats is the kernel's own accounting: total events dispatched,
+// the split into message deliveries and Proc resumes (scheduling), and
+// the event queue's high-water mark. Deterministic for a deterministic
+// simulation, so exact values are assertable in tests.
+type KernelStats struct {
+	Events     int64 `json:"events"`
+	Deliveries int64 `json:"deliveries"`
+	Resumes    int64 `json:"resumes"`
+	MaxQueue   int   `json:"max_queue"`
+	Procs      int   `json:"procs"`
+}
+
+// Stats returns the kernel's dispatch statistics so far.
+func (k *Kernel) Stats() KernelStats {
+	return KernelStats{
+		Events:     k.processed,
+		Deliveries: k.deliveries,
+		Resumes:    k.resumes,
+		MaxQueue:   k.maxQueue,
+		Procs:      len(k.procs),
+	}
 }
 
 // NewKernel returns an empty simulation.
@@ -408,6 +435,9 @@ func (k *Kernel) Run() error {
 			k.finished = true
 			return &RunawayError{Events: k.processed, At: k.queue.peek().at}
 		}
+		if n := len(k.queue); n > k.maxQueue {
+			k.maxQueue = n
+		}
 		k.processed++
 		e := k.queue.pop()
 		p := e.proc
@@ -416,6 +446,7 @@ func (k *Kernel) Run() error {
 		}
 		switch e.kind {
 		case evResume:
+			k.resumes++
 			if p.state == stateRunning {
 				panic("sim: resume of running proc")
 			}
@@ -424,6 +455,7 @@ func (k *Kernel) Run() error {
 			}
 			k.activate(p)
 		case evDeliver:
+			k.deliveries++
 			p.mailbox = append(p.mailbox, Delivery{At: e.at, From: e.from, Msg: e.msg})
 			if p.state == stateBlockedRecv {
 				k.activate(p)

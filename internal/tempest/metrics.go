@@ -1,0 +1,144 @@
+package tempest
+
+import (
+	"fmt"
+
+	"presto/internal/metrics"
+)
+
+// MsgKind is a dense index over the protocol message types, used for
+// per-kind send/receive counters.
+type MsgKind uint8
+
+const (
+	KindGetRO MsgKind = iota
+	KindGetRW
+	KindDataRO
+	KindDataRW
+	KindInval
+	KindInvalAck
+	KindRecallRO
+	KindRecallRW
+	KindWriteBack
+	KindBulk
+	KindGetBulk
+	KindGatherDone
+	KindWake
+	KindPresendGo
+	KindPresendDone
+	KindUseDone
+	KindSignal
+	KindUpdate
+	KindOther
+	NumMsgKinds
+)
+
+var msgKindNames = [NumMsgKinds]string{
+	"GetRO", "GetRW", "DataRO", "DataRW", "Inval", "InvalAck",
+	"RecallRO", "RecallRW", "WriteBack", "Bulk", "GetBulk", "GatherDone",
+	"Wake", "PresendGo", "PresendDone", "UseDone", "Signal", "Update",
+	"Other",
+}
+
+func (k MsgKind) String() string { return msgKindNames[k] }
+
+// KindOf classifies a protocol message.
+func KindOf(m Msg) MsgKind {
+	switch m.(type) {
+	case MsgGetRO:
+		return KindGetRO
+	case MsgGetRW:
+		return KindGetRW
+	case MsgDataRO:
+		return KindDataRO
+	case MsgDataRW:
+		return KindDataRW
+	case MsgInval:
+		return KindInval
+	case MsgInvalAck:
+		return KindInvalAck
+	case MsgRecallRO:
+		return KindRecallRO
+	case MsgRecallRW:
+		return KindRecallRW
+	case MsgWriteBack:
+		return KindWriteBack
+	case MsgBulk:
+		return KindBulk
+	case MsgGetBulk:
+		return KindGetBulk
+	case MsgGatherDone:
+		return KindGatherDone
+	case MsgWake:
+		return KindWake
+	case MsgPresendGo:
+		return KindPresendGo
+	case MsgPresendDone:
+		return KindPresendDone
+	case MsgUseDone:
+		return KindUseDone
+	case MsgSignal:
+		return KindSignal
+	case MsgUpdate:
+		return KindUpdate
+	}
+	return KindOther
+}
+
+// numDirStates sizes the directory-transition counter matrix.
+const numDirStates = 4
+
+// Metrics is one node's instrument set, registered against the machine's
+// shared registry under an "nNN/" prefix. All pointers are cached at
+// construction so hot-path updates are lookup- and allocation-free.
+type Metrics struct {
+	// Sent and Recv count protocol messages by kind (Sent at the posting
+	// node, Recv at the dispatching protocol processor).
+	Sent [NumMsgKinds]*metrics.Counter
+	Recv [NumMsgKinds]*metrics.Counter
+
+	// Dir counts directory state transitions [from][to] at this home.
+	Dir [numDirStates][numDirStates]*metrics.Counter
+
+	// FaultLatency is the fault-to-grant latency distribution (virtual
+	// nanoseconds from fault detection to resumed access).
+	FaultLatency *metrics.Histogram
+	// MsgPayload is the sent-message payload-size distribution (bytes,
+	// excluding the fixed header).
+	MsgPayload *metrics.Histogram
+
+	// PresendsIn counts pre-sent blocks installed at this node;
+	// PresendHits counts those consumed by an access before any fault
+	// (a fault averted); PresendsStale counts pre-sent blocks that
+	// faulted anyway (invalidated or recalled before use).
+	PresendsIn    *metrics.Counter
+	PresendHits   *metrics.Counter
+	PresendsStale *metrics.Counter
+
+	// Phases attributes faults, wait time and pre-send consumption to
+	// compiler-identified parallel phases (per node).
+	Phases metrics.PhaseSet
+}
+
+// NewMetrics registers one node's instruments with reg.
+func NewMetrics(reg *metrics.Registry, node int) *Metrics {
+	p := fmt.Sprintf("n%02d/", node)
+	m := &Metrics{
+		FaultLatency:  reg.Histogram(p + "fault_latency_ns"),
+		MsgPayload:    reg.Histogram(p + "msg_payload_bytes"),
+		PresendsIn:    reg.Counter(p + "presends_in"),
+		PresendHits:   reg.Counter(p + "presend_hits"),
+		PresendsStale: reg.Counter(p + "presends_stale"),
+	}
+	for k := MsgKind(0); k < NumMsgKinds; k++ {
+		m.Sent[k] = reg.Counter(p + "sent/" + k.String())
+		m.Recv[k] = reg.Counter(p + "recv/" + k.String())
+	}
+	for from := 0; from < numDirStates; from++ {
+		for to := 0; to < numDirStates; to++ {
+			m.Dir[from][to] = reg.Counter(fmt.Sprintf("%sdir/%v_to_%v",
+				p, DirState(from), DirState(to)))
+		}
+	}
+	return m
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"presto/internal/memory"
+	"presto/internal/metrics"
 	"presto/internal/network"
 	"presto/internal/sim"
 	"presto/internal/trace"
@@ -111,42 +112,191 @@ type Node struct {
 	// ProtoState holds protocol-private per-node state.
 	ProtoState any
 
-	// Trace, when non-nil, records protocol events.
-	Trace *trace.Ring
+	// Trace, when non-nil, receives protocol events (ring, JSONL or
+	// Chrome backends — see internal/trace).
+	Trace trace.Sink
+
+	// Met is the node's metric instrument set (never nil).
+	Met *Metrics
+
+	// FlowSeq, when non-nil, is the machine-shared flow-ID counter that
+	// links traced Send events to their Recv events.
+	FlowSeq *int64
+
+	// Phase attribution: curPhase points at the per-phase accumulator of
+	// the parallel phase the compute processor currently executes (nil
+	// between phases).
+	curPhase  *metrics.PhaseStats
+	phaseID   int
+	phaseIter int
+
+	// presendFresh tracks pre-sent blocks installed but not yet consumed
+	// by a compute access (schedule hit/accuracy accounting).
+	presendFresh  map[memory.Block]bool
+	presendFreshN int
 }
 
 // NewNode constructs a node over the given address space. The runtime
 // wires Peers and spawns the Procs.
 func NewNode(id int, as *memory.AddressSpace, net *network.Params, proto Protocol) *Node {
 	n := &Node{
-		ID:    id,
-		AS:    as,
-		Store: memory.NewStore(as, id),
-		Net:   net,
-		Proto: proto,
-		Dir:   NewDirectory(),
+		ID:      id,
+		AS:      as,
+		Store:   memory.NewStore(as, id),
+		Net:     net,
+		Proto:   proto,
+		Dir:     NewDirectory(),
+		phaseID: -1,
 	}
+	n.Met = NewMetrics(metrics.New(), id) // standalone registry; rt rebinds
 	return n
 }
+
+// UseMetrics rebinds the node's instruments to a shared registry (called
+// by the runtime so one registry covers the whole machine).
+func (n *Node) UseMetrics(reg *metrics.Registry) {
+	n.Met = NewMetrics(reg, n.ID)
+}
+
+// BeginPhaseMetrics establishes phase id (0-based iteration iter) as the
+// attribution target for faults, wait time and pre-send consumption on
+// this node. Called by the runtime at each phase directive.
+func (n *Node) BeginPhaseMetrics(id, iter int) {
+	ps := n.Met.Phases.Phase(id)
+	ps.Iters++
+	n.curPhase = ps
+	n.phaseID = id
+	n.phaseIter = iter
+}
+
+// EndPhaseMetrics leaves the current phase.
+func (n *Node) EndPhaseMetrics() {
+	n.curPhase = nil
+	n.phaseID = -1
+	n.phaseIter = 0
+}
+
+// CurPhase returns the accumulator of the phase the compute processor is
+// currently in, or nil between phases.
+func (n *Node) CurPhase() *metrics.PhaseStats { return n.curPhase }
+
+// PhaseContext reports the current phase ID (-1 if none) and iteration
+// for trace attribution.
+func (n *Node) PhaseContext() (phase, iter int) { return n.phaseID, n.phaseIter }
+
+// SetDirState transitions a directory entry's state, counting the
+// transition. All protocol state changes route through this so the
+// per-node transition matrix is complete.
+func (n *Node) SetDirState(e *DirEntry, to DirState) {
+	if e.State != to {
+		n.Met.Dir[e.State][to].Inc()
+	}
+	e.State = to
+}
+
+// NotePresendArrival records that a pre-sent copy of b was installed at
+// this node. When the compute processor is not already fault-waiting on b
+// (i.e. the pre-send genuinely arrived early), the block becomes eligible
+// for a schedule hit on its first access.
+func (n *Node) NotePresendArrival(b memory.Block) {
+	n.Met.PresendsIn.Inc()
+	if n.curPhase != nil {
+		n.curPhase.PresendsIn++
+	}
+	if wb, waiting := n.FaultWaitBlock(); waiting && wb == b {
+		return // raced with a fault: the fault was not averted
+	}
+	if n.presendFresh == nil {
+		n.presendFresh = make(map[memory.Block]bool)
+	}
+	if !n.presendFresh[b] {
+		n.presendFresh[b] = true
+		n.presendFreshN++
+	}
+}
+
+// notePresendUse scores a schedule hit if the accessed block was pre-sent
+// and not yet consumed. Called on the compute processor's successful
+// access fast path (guarded by presendFreshN > 0).
+func (n *Node) notePresendUse(a memory.Addr) {
+	b := n.AS.BlockOf(a)
+	if !n.presendFresh[b] {
+		return
+	}
+	delete(n.presendFresh, b)
+	n.presendFreshN--
+	n.Met.PresendHits.Inc()
+	if n.curPhase != nil {
+		n.curPhase.PresendHits++
+	}
+}
+
+// ResetPresendCounters zeroes the node's schedule-hit bookkeeping for
+// phase id (all phases when id < 0), including pending unconsumed
+// pre-sends. Used when schedules are flushed so hit rates are measured
+// from the rebuild onward.
+func (n *Node) ResetPresendCounters(id int) {
+	if id < 0 {
+		for _, ps := range n.Met.Phases.All() {
+			ps.ResetHits()
+		}
+		n.Met.PresendsIn.Set(0)
+		n.Met.PresendHits.Set(0)
+		n.Met.PresendsStale.Set(0)
+	} else if ps := n.Met.Phases.Lookup(id); ps != nil {
+		ps.ResetHits()
+	}
+	n.presendFresh = nil
+	n.presendFreshN = 0
+}
+
+// tracedMsg wraps a protocol message with the flow ID that links its
+// traced Send event to the Recv event; ProtocolLoop unwraps it before
+// dispatch. Only used while tracing is enabled.
+type tracedMsg struct {
+	Msg  Msg
+	Flow int64
+}
+
+// PayloadBytes implements Msg (wire size is the wrapped message's).
+func (t tracedMsg) PayloadBytes() int { return t.Msg.PayloadBytes() }
 
 // Post sends a protocol message from src (the currently running Proc on
 // this node) to dst's protocol processor, charging sender occupancy and
 // network transit per the cost model. Node-local messages (dst == n) use
 // the cheap local path.
 func (n *Node) Post(src *sim.Proc, dst *Node, m Msg) {
+	kind := KindOf(m)
+	n.Met.Sent[kind].Inc()
+	payload := m.PayloadBytes()
+	var send Msg = m
+	if n.Trace != nil {
+		var flow int64
+		if n.FlowSeq != nil {
+			*n.FlowSeq++
+			flow = *n.FlowSeq
+			send = tracedMsg{Msg: m, Flow: flow}
+		}
+		proc := trace.ProcProto
+		if src == n.Compute {
+			proc = trace.ProcCompute
+		}
+		n.Trace.Record(trace.Event{
+			At: src.Now(), Node: n.ID, Proc: proc, Kind: trace.Send,
+			Phase: n.phaseID, Iter: n.phaseIter, Flow: flow,
+			What: fmt.Sprintf("%s -> n%d", MsgString(m), dst.ID),
+		})
+	}
 	if dst == n {
 		src.Advance(n.Net.LocalOverhead)
-		src.Send(n.ProtoProc, m, n.Net.LocalDelay)
+		src.Send(n.ProtoProc, send, n.Net.LocalDelay)
 		return
 	}
-	payload := m.PayloadBytes()
+	n.Met.MsgPayload.Observe(int64(payload))
 	src.Advance(n.Net.SendCost(payload))
-	src.Send(dst.ProtoProc, m, n.Net.TransitDelay(payload))
+	src.Send(dst.ProtoProc, send, n.Net.TransitDelay(payload))
 	n.Stats.MsgsSent++
 	n.Stats.BytesSent += int64(payload + n.Net.HeaderBytes)
-	if n.Trace != nil {
-		n.Trace.Add(src.Now(), n.ID, trace.Send, "%s -> n%d", MsgString(m), dst.ID)
-	}
 }
 
 // MsgString renders a protocol message compactly for traces.
@@ -204,24 +354,40 @@ func (n *Node) fault(p *sim.Proc, a memory.Addr, write bool) {
 	p.Advance(n.Net.FaultDetect)
 	b := n.AS.BlockOf(a)
 	if n.Trace != nil {
-		n.Trace.Add(p.Now(), n.ID, trace.Fault, "block %#x write=%v", uint64(b), write)
+		n.Trace.Record(trace.Event{
+			At: p.Now(), Node: n.ID, Proc: trace.ProcCompute, Kind: trace.Fault,
+			Phase: n.phaseID, Iter: n.phaseIter,
+			What: fmt.Sprintf("block %#x write=%v", uint64(b), write),
+		})
+	}
+	if n.presendFreshN > 0 && n.presendFresh[b] {
+		// A pre-sent copy was installed but invalidated or recalled
+		// before the compute processor consumed it: a wasted pre-send.
+		delete(n.presendFresh, b)
+		n.presendFreshN--
+		n.Met.PresendsStale.Inc()
 	}
 	n.waiting, n.waitBlock = true, b
-	if n.Proto.OnFault(n, b, write) {
+	resolved := n.Proto.OnFault(n, b, write)
+	if resolved {
 		n.waiting = false
-		n.Stats.RemoteWait += p.Now() - start
-		if write {
-			n.Stats.WriteFaults++
-		} else {
-			n.Stats.ReadFaults++
-		}
-		return
+	} else {
+		n.RecvCompute(p, func(m any) bool {
+			w, ok := m.(MsgWake)
+			return ok && w.Block == b
+		})
 	}
-	n.RecvCompute(p, func(m any) bool {
-		w, ok := m.(MsgWake)
-		return ok && w.Block == b
-	})
-	n.Stats.RemoteWait += p.Now() - start
+	dt := p.Now() - start
+	n.Stats.RemoteWait += dt
+	n.Met.FaultLatency.Observe(int64(dt))
+	if ps := n.curPhase; ps != nil {
+		ps.RemoteWaitNS += int64(dt)
+		if write {
+			ps.WriteFaults++
+		} else {
+			ps.ReadFaults++
+		}
+	}
 	if write {
 		n.Stats.WriteFaults++
 	} else {
@@ -237,6 +403,9 @@ func (n *Node) ReadF64(p *sim.Proc, a memory.Addr) float64 {
 			if n.pendingUseN > 0 {
 				n.finishUse(p, a)
 			}
+			if n.presendFreshN > 0 {
+				n.notePresendUse(a)
+			}
 			return v
 		}
 		n.fault(p, a, false)
@@ -249,6 +418,9 @@ func (n *Node) WriteF64(p *sim.Proc, a memory.Addr, v float64) {
 		if n.Store.StoreF64(a, v) {
 			if n.pendingUseN > 0 {
 				n.finishUse(p, a)
+			}
+			if n.presendFreshN > 0 {
+				n.notePresendUse(a)
 			}
 			return
 		}
@@ -267,6 +439,9 @@ func (n *Node) RMWF64(p *sim.Proc, a memory.Addr, fn func(v float64) float64) {
 				if n.pendingUseN > 0 {
 					n.finishUse(p, a)
 				}
+				if n.presendFreshN > 0 {
+					n.notePresendUse(a)
+				}
 				return
 			}
 		}
@@ -281,6 +456,9 @@ func (n *Node) ReadU64(p *sim.Proc, a memory.Addr) uint64 {
 			if n.pendingUseN > 0 {
 				n.finishUse(p, a)
 			}
+			if n.presendFreshN > 0 {
+				n.notePresendUse(a)
+			}
 			return v
 		}
 		n.fault(p, a, false)
@@ -293,6 +471,9 @@ func (n *Node) WriteU64(p *sim.Proc, a memory.Addr, v uint64) {
 		if n.Store.StoreU64(a, v) {
 			if n.pendingUseN > 0 {
 				n.finishUse(p, a)
+			}
+			if n.presendFreshN > 0 {
+				n.notePresendUse(a)
 			}
 			return
 		}
@@ -307,6 +488,9 @@ func (n *Node) ReadU32(p *sim.Proc, a memory.Addr) uint32 {
 			if n.pendingUseN > 0 {
 				n.finishUse(p, a)
 			}
+			if n.presendFreshN > 0 {
+				n.notePresendUse(a)
+			}
 			return v
 		}
 		n.fault(p, a, false)
@@ -319,6 +503,9 @@ func (n *Node) WriteU32(p *sim.Proc, a memory.Addr, v uint32) {
 		if n.Store.StoreU32(a, v) {
 			if n.pendingUseN > 0 {
 				n.finishUse(p, a)
+			}
+			if n.presendFreshN > 0 {
+				n.notePresendUse(a)
 			}
 			return
 		}
@@ -409,9 +596,19 @@ func (n *Node) ProtocolLoop(p *sim.Proc) {
 	for {
 		d := p.Recv()
 		p.Advance(n.Net.RecvOverhead)
-		if n.Trace != nil {
-			if m, ok := d.Msg.(Msg); ok {
-				n.Trace.Add(p.Now(), n.ID, trace.Recv, "%s", MsgString(m))
+		var flow int64
+		if tm, ok := d.Msg.(tracedMsg); ok {
+			d.Msg = tm.Msg
+			flow = tm.Flow
+		}
+		if m, ok := d.Msg.(Msg); ok {
+			n.Met.Recv[KindOf(m)].Inc()
+			if n.Trace != nil {
+				n.Trace.Record(trace.Event{
+					At: p.Now(), Node: n.ID, Proc: trace.ProcProto, Kind: trace.Recv,
+					Phase: n.phaseID, Iter: n.phaseIter, Flow: flow,
+					What: MsgString(m),
+				})
 			}
 		}
 		n.Proto.Handle(n, d)

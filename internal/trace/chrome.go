@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome buffers events and, on Close, writes them in the Chrome
+// trace_event format (the JSON object form, {"traceEvents": [...]}),
+// loadable in chrome://tracing and Perfetto. Each simulated node becomes
+// a process with two threads — "compute" (tid 0) and "protocol" (tid 1);
+// parallel phases render as duration spans on the compute track, faults
+// as instants, and every Send/Recv pair as a flow arrow between tracks.
+//
+// Timestamps are virtual microseconds (ts = virtual ns / 1000), so track
+// alignment reflects simulated, not wall-clock, time. Output is
+// deterministic for a deterministic simulation.
+type Chrome struct {
+	events []Event
+}
+
+// NewChrome returns an empty Chrome trace buffer.
+func NewChrome() *Chrome { return &Chrome{} }
+
+// Record implements Sink.
+func (c *Chrome) Record(e Event) { c.events = append(c.events, e) }
+
+// Len reports the number of buffered events.
+func (c *Chrome) Len() int { return len(c.events) }
+
+// chromeEvent is one trace_event entry. Fields follow the trace-event
+// format spec; omitempty keeps instants compact. Dur is a pointer so a
+// zero-length completed event still serializes "dur":0.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   jsonMicros     `json:"ts"`
+	Dur  *jsonMicros    `json:"dur,omitempty"`
+	S    string         `json:"s,omitempty"`  // instant scope
+	ID   string         `json:"id,omitempty"` // flow binding id
+	BP   string         `json:"bp,omitempty"` // flow binding point
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// jsonMicros renders virtual nanoseconds as microseconds with fixed
+// 3-decimal precision (exact, since the source is integer nanoseconds).
+type jsonMicros int64
+
+func (m jsonMicros) MarshalJSON() ([]byte, error) {
+	ns := int64(m)
+	neg := ""
+	if ns < 0 {
+		neg, ns = "-", -ns
+	}
+	return []byte(fmt.Sprintf("%s%d.%03d", neg, ns/1000, ns%1000)), nil
+}
+
+// Write renders the buffered events. The required tracks (process and
+// thread metadata) are emitted for every node that appears in the buffer.
+func (c *Chrome) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := func(v chromeEvent) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+		return nil
+	}
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(v chromeEvent) error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		return enc(v)
+	}
+
+	nodes := map[int]bool{}
+	for _, e := range c.events {
+		nodes[e.Node] = true
+	}
+	ids := make([]int, 0, len(nodes))
+	for id := range nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if err := emit(chromeEvent{Name: "process_name", Ph: "M", Pid: id,
+			Args: map[string]any{"name": fmt.Sprintf("node %d", id)}}); err != nil {
+			return err
+		}
+		for tid, tn := range []string{"compute", "protocol"} {
+			if err := emit(chromeEvent{Name: "thread_name", Ph: "M", Pid: id, Tid: tid,
+				Args: map[string]any{"name": tn}}); err != nil {
+				return err
+			}
+		}
+	}
+
+	zero := jsonMicros(0)
+	for _, e := range c.events {
+		tid := 0
+		if e.Proc == ProcProto {
+			tid = 1
+		}
+		base := chromeEvent{Pid: e.Node, Tid: tid, Ts: jsonMicros(e.At)}
+		var out []chromeEvent
+		switch e.Kind {
+		case PhaseBegin:
+			b := base
+			b.Name, b.Cat, b.Ph = e.What, "phase", "B"
+			b.Args = map[string]any{"phase": e.Phase, "iter": e.Iter}
+			out = append(out, b)
+		case PhaseEnd:
+			b := base
+			b.Name, b.Cat, b.Ph = e.What, "phase", "E"
+			out = append(out, b)
+		case Fault:
+			b := base
+			b.Name, b.Cat, b.Ph, b.S = "fault", "fault", "i", "t"
+			b.Args = map[string]any{"what": e.What}
+			out = append(out, b)
+		case Send:
+			b := base
+			b.Name, b.Cat, b.Ph, b.Dur = e.What, "msg", "X", &zero
+			out = append(out, b)
+			if e.Flow != 0 {
+				f := base
+				f.Name, f.Cat, f.Ph = "msg", "msg", "s"
+				f.ID = fmt.Sprintf("%d", e.Flow)
+				out = append(out, f)
+			}
+		case Recv:
+			b := base
+			b.Name, b.Cat, b.Ph, b.Dur = e.What, "msg", "X", &zero
+			out = append(out, b)
+			if e.Flow != 0 {
+				f := base
+				f.Name, f.Cat, f.Ph, f.BP = "msg", "msg", "f", "e"
+				f.ID = fmt.Sprintf("%d", e.Flow)
+				out = append(out, f)
+			}
+		default: // Note and future kinds: instants
+			b := base
+			b.Name, b.Cat, b.Ph, b.S = e.Kind.String(), "note", "i", "t"
+			b.Args = map[string]any{"what": e.What}
+			out = append(out, b)
+		}
+		for _, v := range out {
+			if err := emit(v); err != nil {
+				return err
+			}
+		}
+	}
+	if _, err := bw.WriteString("\n],\"displayTimeUnit\":\"ns\"}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

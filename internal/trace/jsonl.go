@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// jsonEvent is the wire form of one JSONL trace line. Field order is
+// fixed by the struct, so output is deterministic.
+type jsonEvent struct {
+	AtNS  int64  `json:"at_ns"`
+	Node  int    `json:"node"`
+	Proc  string `json:"proc"`
+	Kind  string `json:"kind"`
+	Phase int    `json:"phase"`
+	Iter  int    `json:"iter,omitempty"`
+	Flow  int64  `json:"flow,omitempty"`
+	What  string `json:"what"`
+}
+
+// JSONL streams every event as one JSON object per line — the
+// machine-readable firehose backend (pipe into jq, diff across runs).
+type JSONL struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL returns a sink writing JSON lines to w. Call Close to flush.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriter(w)
+	return &JSONL{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Record implements Sink. The first write error sticks and suppresses
+// further output; Close reports it.
+func (j *JSONL) Record(e Event) {
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(jsonEvent{
+		AtNS:  int64(e.At),
+		Node:  e.Node,
+		Proc:  e.Proc.String(),
+		Kind:  e.Kind.String(),
+		Phase: e.Phase,
+		Iter:  e.Iter,
+		Flow:  e.Flow,
+		What:  e.What,
+	})
+}
+
+// Close flushes buffered lines and returns the first error encountered.
+func (j *JSONL) Close() error {
+	if j.err != nil {
+		return j.err
+	}
+	return j.w.Flush()
+}
