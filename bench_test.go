@@ -8,7 +8,9 @@
 //
 // By default the benchmarks run the CI-sized (quick) workloads; set
 // PRESTO_SCALE=paper to run the paper's Table 1 sizes (32 simulated
-// nodes; several minutes).
+// nodes; several minutes). PRESTO_ENGINE=parallel runs them on the
+// kernel's conservative parallel engine (identical results, different
+// wall clock).
 package presto_test
 
 import (
@@ -26,6 +28,13 @@ func benchScale() harness.Scale {
 	return harness.ParseScale(os.Getenv("PRESTO_SCALE"))
 }
 
+func benchOptions() harness.Options {
+	return harness.Options{
+		Scale:  benchScale(),
+		Engine: rt.EngineKind(os.Getenv("PRESTO_ENGINE")),
+	}
+}
+
 func runExperiment(b *testing.B, id string) *harness.Result {
 	b.Helper()
 	e, ok := harness.ByID(id)
@@ -35,7 +44,7 @@ func runExperiment(b *testing.B, id string) *harness.Result {
 	var res *harness.Result
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = e.Run(benchScale())
+		res, err = harness.RunExperiment(e, benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -48,12 +57,12 @@ func runExperiment(b *testing.B, id string) *harness.Result {
 func BenchmarkTable1Workloads(b *testing.B) {
 	res := runExperiment(b, "table1")
 	_ = res
-	scale := benchScale()
+	opts := benchOptions()
 	var total sim.Time
 	for i := 0; i < 1; i++ { // workloads themselves (once per bench run)
 		for _, id := range []string{"figure7"} {
 			e, _ := harness.ByID(id)
-			r, err := e.Run(scale)
+			r, err := harness.RunExperiment(e, opts)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -7,6 +7,7 @@
 //	dsmrun -app adaptive|barnes|water [-protocol stache|predictive|update]
 //	       [-nodes N] [-block B] [-spmd] [-splash] [-size N] [-iters N]
 //	       [-metrics out.json] [-trace-out t.json] [-trace-format chrome|jsonl]
+//	       [-engine serial|parallel] [-workers N] [-cpuprofile f] [-memprofile f]
 //
 // -metrics writes the machine's full metrics report (breakdown, per-phase
 // stats, protocol counters, histograms) as JSON; "-" selects stdout.
@@ -15,6 +16,11 @@
 // chrome://tracing or https://ui.perfetto.dev; jsonl produces one JSON
 // object per event. Virtual time makes both byte-identical across
 // identical runs.
+//
+// -engine parallel runs the simulation on the kernel's conservative
+// parallel engine; every output (breakdown, metrics, traces) is
+// byte-identical to -engine serial — only wall-clock time changes.
+// -cpuprofile/-memprofile write pprof profiles of the simulator itself.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"presto/internal/apps/adaptive"
 	"presto/internal/apps/barnes"
 	"presto/internal/apps/water"
+	"presto/internal/prof"
 	"presto/internal/rt"
 	"presto/internal/sim"
 	"presto/internal/trace"
@@ -44,9 +51,19 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write the metrics report as JSON to this file (\"-\" = stdout)")
 	traceOut := flag.String("trace-out", "", "write the protocol event trace to this file")
 	traceFormat := flag.String("trace-format", "chrome", "trace format: chrome or jsonl")
+	engine := flag.String("engine", "serial", "kernel engine: serial or parallel")
+	workers := flag.Int("workers", 0, "parallel-engine workers (0 = GOMAXPROCS)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	mc := rt.Config{Nodes: *nodes, BlockSize: *block, Protocol: rt.ProtocolKind(*protocol)}
+	stopProf = prof.Start(*cpuprofile, *memprofile)
+	defer stopProf()
+
+	mc := rt.Config{
+		Nodes: *nodes, BlockSize: *block, Protocol: rt.ProtocolKind(*protocol),
+		Engine: rt.EngineKind(*engine), Workers: *workers,
+	}
 
 	var traceFile *os.File
 	var chrome *trace.Chrome
@@ -176,7 +193,12 @@ func writeJSON(w io.Writer, v any) error {
 	return enc.Encode(v)
 }
 
+// stopProf flushes -cpuprofile/-memprofile output; fatal calls it so
+// profiles survive error exits.
+var stopProf = func() {}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "dsmrun:", err)
+	stopProf()
 	os.Exit(1)
 }

@@ -4,6 +4,8 @@
 //
 //	paperbench [-experiment all|table1|figure4|figure5|figure6|figure7|sweep|ablate-*]
 //	           [-scale quick|paper] [-csv out.csv] [-json out.json]
+//	           [-engine serial|parallel] [-workers N]
+//	           [-kernel-bench out.json] [-cpuprofile f] [-memprofile f]
 //
 // -json (default BENCH_results.json; "" disables) writes every
 // experiment's rows — including the per-phase metrics — as one
@@ -12,15 +14,31 @@
 // -scale paper runs the Table 1 workload sizes on 32 simulated nodes
 // (minutes of wall clock); -scale quick (default) runs CI-sized versions
 // of the same experiments.
+//
+// -engine parallel runs the simulation kernel's conservative parallel
+// engine (results are byte-identical to serial; only wall clock changes).
+// -workers caps its worker goroutines (default GOMAXPROCS).
+//
+// -kernel-bench runs the kernel hot-path micro-benchmarks
+// (internal/kernelbench) plus a serial-vs-parallel wall-clock comparison
+// of figure5, writes them as JSON, and exits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
 	"time"
 
 	"presto/internal/harness"
+	"presto/internal/kernelbench"
+	"presto/internal/prof"
+	"presto/internal/rt"
 )
 
 func main() {
@@ -28,9 +46,32 @@ func main() {
 	scaleStr := flag.String("scale", "quick", "workload scale: quick or paper")
 	csvPath := flag.String("csv", "", "also write rows as CSV to this file")
 	jsonPath := flag.String("json", "BENCH_results.json", "write machine-readable results to this file (\"\" disables)")
+	engine := flag.String("engine", "serial", "kernel engine: serial or parallel")
+	workers := flag.Int("workers", 0, "parallel-engine workers (0 = GOMAXPROCS)")
+	kernelBench := flag.String("kernel-bench", "", "run kernel micro-benchmarks, write JSON to this file and exit")
+	kernelBase := flag.String("kernel-bench-baseline", "", "embed this `go test -bench` output as the baseline section")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	scale := harness.ParseScale(*scaleStr)
+	stopProf := prof.Start(*cpuprofile, *memprofile)
+	defer stopProf()
+
+	opts := harness.Options{
+		Scale:   harness.ParseScale(*scaleStr),
+		Engine:  rt.EngineKind(*engine),
+		Workers: *workers,
+	}
+
+	if *kernelBench != "" {
+		if err := runKernelBench(*kernelBench, *kernelBase, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			stopProf()
+			os.Exit(1)
+		}
+		return
+	}
+
 	var exps []harness.Experiment
 	if *expID == "all" {
 		exps = harness.All()
@@ -60,9 +101,10 @@ func main() {
 	var results []*harness.Result
 	for _, e := range exps {
 		start := time.Now()
-		res, err := e.Run(scale)
+		res, err := harness.RunExperiment(e, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			stopProf()
 			os.Exit(1)
 		}
 		fmt.Printf("paper claim: %s\n", e.Paper)
@@ -90,4 +132,165 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
 	}
+}
+
+// kernelBenchDoc is the BENCH_kernel.json schema.
+type kernelBenchDoc struct {
+	// Host describes where the numbers were taken; wall-clock comparisons
+	// only mean something relative to NumCPU.
+	Host struct {
+		NumCPU     int    `json:"num_cpu"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+		GoVersion  string `json:"go_version"`
+	} `json:"host"`
+	// Micro are the kernel hot-path micro-benchmarks (internal/kernelbench).
+	Micro []microResult `json:"micro"`
+	// Baseline holds pre-optimization numbers for the same workloads
+	// (parsed from a recorded `go test -bench` output), when provided.
+	Baseline []microResult `json:"baseline,omitempty"`
+	// Figure5 compares serial vs parallel wall clock for the figure5
+	// experiment at quick scale (byte-identical results, different engines).
+	Figure5 figure5Result `json:"figure5"`
+}
+
+type microResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"n"`
+}
+
+type figure5Result struct {
+	SerialMS   float64 `json:"serial_ms"`
+	ParallelMS float64 `json:"parallel_ms"`
+	Workers    int     `json:"workers"`
+	Speedup    float64 `json:"speedup"`
+	// Note flags measurements that cannot show parallel speedup (e.g. a
+	// single-CPU host, where workers only add scheduling overhead).
+	Note string `json:"note,omitempty"`
+}
+
+// runKernelBench measures the kernel micro-benchmarks and the figure5
+// serial-vs-parallel wall clock, and writes them as one JSON document.
+func runKernelBench(path, baselinePath string, opts harness.Options) error {
+	var doc kernelBenchDoc
+	doc.Host.NumCPU = runtime.NumCPU()
+	doc.Host.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	doc.Host.GoVersion = runtime.Version()
+	if baselinePath != "" {
+		base, err := parseBenchOutput(baselinePath)
+		if err != nil {
+			return err
+		}
+		doc.Baseline = base
+	}
+
+	for _, c := range kernelbench.Cases() {
+		r := testing.Benchmark(c.Bench)
+		doc.Micro = append(doc.Micro, microResult{
+			Name:        c.Name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		})
+		fmt.Printf("%-20s %12.1f ns/op %8d B/op %6d allocs/op\n",
+			c.Name, doc.Micro[len(doc.Micro)-1].NsPerOp, r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	fig5, ok := harness.ByID("figure5")
+	if !ok {
+		return fmt.Errorf("figure5 not registered")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	timeRun := func(o harness.Options) (float64, error) {
+		start := time.Now()
+		_, err := harness.RunExperiment(fig5, o)
+		return float64(time.Since(start).Nanoseconds()) / 1e6, err
+	}
+	serialMS, err := timeRun(harness.Options{Scale: opts.Scale, Engine: rt.EngineSerial})
+	if err != nil {
+		return err
+	}
+	parallelMS, err := timeRun(harness.Options{Scale: opts.Scale, Engine: rt.EngineParallel, Workers: workers})
+	if err != nil {
+		return err
+	}
+	doc.Figure5 = figure5Result{
+		SerialMS:   serialMS,
+		ParallelMS: parallelMS,
+		Workers:    workers,
+		Speedup:    serialMS / parallelMS,
+	}
+	if doc.Host.NumCPU < 4 && doc.Figure5.Speedup < 2 {
+		doc.Figure5.Note = fmt.Sprintf(
+			"host has %d CPU(s); wall-clock speedup requires a multi-core host — results remain byte-identical",
+			doc.Host.NumCPU)
+	}
+	fmt.Printf("figure5 wall clock: serial %.1fms, parallel(%d workers) %.1fms, speedup %.2fx on %d CPUs\n",
+		serialMS, workers, parallelMS, doc.Figure5.Speedup, doc.Host.NumCPU)
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// parseBenchOutput extracts per-benchmark numbers from `go test -bench
+// -benchmem` text output lines such as
+//
+//	BenchmarkKernel/send_recv  1272314  959.1 ns/op  128 B/op  2 allocs/op
+func parseBenchOutput(path string) ([]microResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []microResult
+	for _, line := range strings.Split(string(data), "\n") {
+		f := strings.Fields(line)
+		if len(f) < 3 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		name := f[0]
+		if i := strings.IndexByte(name, '/'); i >= 0 {
+			name = name[i+1:]
+		}
+		name = strings.TrimSuffix(name, "-"+fmt.Sprint(runtime.GOMAXPROCS(0)))
+		r := microResult{Name: name}
+		r.N, _ = strconv.Atoi(f[1])
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = int64(v)
+			case "allocs/op":
+				r.AllocsPerOp = int64(v)
+			}
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return out, nil
 }

@@ -15,9 +15,9 @@ import (
 )
 
 // adaptiveCfg builds one Adaptive configuration.
-func adaptiveCfg(scale Scale, proto rt.ProtocolKind, bs int) adaptive.Config {
-	c := adaptive.Config{Machine: rt.Config{Nodes: 32, BlockSize: bs, Protocol: proto}}
-	if scale == Quick {
+func adaptiveCfg(o Options, proto rt.ProtocolKind, bs int) adaptive.Config {
+	c := adaptive.Config{Machine: o.machine(rt.Config{Nodes: 32, BlockSize: bs, Protocol: proto})}
+	if o.Scale == Quick {
 		c.Machine.Nodes = 16
 		c.Size = 64
 		c.Iters = 30
@@ -26,18 +26,18 @@ func adaptiveCfg(scale Scale, proto rt.ProtocolKind, bs int) adaptive.Config {
 	return c
 }
 
-func barnesCfg(scale Scale, proto rt.ProtocolKind, bs int, spmd bool) barnes.Config {
-	c := barnes.Config{Machine: rt.Config{Nodes: 32, BlockSize: bs, Protocol: proto}, SPMD: spmd}
-	if scale == Quick {
+func barnesCfg(o Options, proto rt.ProtocolKind, bs int, spmd bool) barnes.Config {
+	c := barnes.Config{Machine: o.machine(rt.Config{Nodes: 32, BlockSize: bs, Protocol: proto}), SPMD: spmd}
+	if o.Scale == Quick {
 		c.Machine.Nodes = 16
 		c.Bodies = 2048
 	}
 	return c
 }
 
-func waterCfg(scale Scale, proto rt.ProtocolKind, bs int, splash bool) water.Config {
-	c := water.Config{Machine: rt.Config{Nodes: 32, BlockSize: bs, Protocol: proto}, Splash: splash}
-	if scale == Quick {
+func waterCfg(o Options, proto rt.ProtocolKind, bs int, splash bool) water.Config {
+	c := water.Config{Machine: o.machine(rt.Config{Nodes: 32, BlockSize: bs, Protocol: proto}), Splash: splash}
+	if o.Scale == Quick {
 		c.Machine.Nodes = 16
 		c.Molecules = 256
 		c.Steps = 8
@@ -114,7 +114,7 @@ func init() {
 	})
 }
 
-func runTable1(scale Scale) (*Result, error) {
+func runTable1(o Options) (*Result, error) {
 	res := &Result{ID: "table1", Title: "Benchmark applications"}
 	type row struct{ name, desc, data string }
 	rows := []row{
@@ -125,13 +125,13 @@ func runTable1(scale Scale) (*Result, error) {
 	for _, r := range rows {
 		res.AddNote(fmt.Sprintf("%-9s %-34s %s", r.name, r.desc, r.data))
 	}
-	if scale == Quick {
+	if o.Scale == Quick {
 		res.AddNote("(quick scale runs 64x64/30, 2048 bodies, 256 molecules on 16 nodes)")
 	}
 	return res, nil
 }
 
-func runFigure4(Scale) (*Result, error) {
+func runFigure4(Options) (*Result, error) {
 	src, err := os.ReadFile(findTestdata("barnes.cstar"))
 	if err != nil {
 		return nil, err
@@ -160,7 +160,7 @@ func findTestdata(name string) string {
 	return "testdata/" + name
 }
 
-func runFigure5(scale Scale) (*Result, error) {
+func runFigure5(o Options) (*Result, error) {
 	res := &Result{ID: "figure5", Title: "Adaptive, 4 versions (32 processors)"}
 	versions := []struct {
 		label string
@@ -173,7 +173,7 @@ func runFigure5(scale Scale) (*Result, error) {
 		{"C** opt (256)", rt.ProtoPredictive, 256},
 	}
 	for _, v := range versions {
-		r, err := adaptive.Run(adaptiveCfg(scale, v.proto, v.bs))
+		r, err := adaptive.Run(adaptiveCfg(o, v.proto, v.bs))
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", v.label, err)
 		}
@@ -190,7 +190,7 @@ func runFigure5(scale Scale) (*Result, error) {
 	return res, nil
 }
 
-func runFigure6(scale Scale) (*Result, error) {
+func runFigure6(o Options) (*Result, error) {
 	res := &Result{ID: "figure6", Title: "Barnes, 5 versions (32 processors)"}
 	versions := []struct {
 		label string
@@ -205,7 +205,7 @@ func runFigure6(scale Scale) (*Result, error) {
 		{"SPMD write-update (1024)", rt.ProtoUpdate, 1024, true},
 	}
 	for _, v := range versions {
-		r, err := barnes.Run(barnesCfg(scale, v.proto, v.bs, v.spmd))
+		r, err := barnes.Run(barnesCfg(o, v.proto, v.bs, v.spmd))
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", v.label, err)
 		}
@@ -222,7 +222,7 @@ func runFigure6(scale Scale) (*Result, error) {
 	return res, nil
 }
 
-func runFigure7(scale Scale) (*Result, error) {
+func runFigure7(o Options) (*Result, error) {
 	res := &Result{ID: "figure7", Title: "Water, 3 versions (32 processors)"}
 	// The paper picks each version's best block size; sweep and keep the
 	// best per version, labeling it like the paper's "(256)" annotations.
@@ -239,7 +239,7 @@ func runFigure7(scale Scale) (*Result, error) {
 	for _, v := range versions {
 		var best *Row
 		for _, bs := range []int{32, 128, 256} {
-			r, err := water.Run(waterCfg(scale, v.proto, bs, v.splash))
+			r, err := water.Run(waterCfg(o, v.proto, bs, v.splash))
 			if err != nil {
 				return nil, fmt.Errorf("%s(%d): %w", v.prefix, bs, err)
 			}
@@ -261,13 +261,13 @@ func runFigure7(scale Scale) (*Result, error) {
 
 // runInspector compares the three strategies on the Figure-3-style
 // unstructured kernel, on a static mesh and on an adapting mesh.
-func runInspector(scale Scale) (*Result, error) {
+func runInspector(o Options) (*Result, error) {
 	res := &Result{ID: "inspector", Title: "Unstructured bipartite mesh: plain vs predictive vs inspector-executor"}
 	base := unstructured.Config{
-		Machine: rt.Config{Nodes: 32, BlockSize: 32},
+		Machine: o.machine(rt.Config{Nodes: 32, BlockSize: 32}),
 		Primal:  4096, Dual: 4096, Edges: 6, Iters: 24,
 	}
-	if scale == Quick {
+	if o.Scale == Quick {
 		base.Machine.Nodes = 16
 		base.Primal, base.Dual = 1024, 1024
 		base.Iters = 12
@@ -303,14 +303,14 @@ func runInspector(scale Scale) (*Result, error) {
 	return res, nil
 }
 
-func runSweep(scale Scale) (*Result, error) {
+func runSweep(o Options) (*Result, error) {
 	res := &Result{ID: "sweep", Title: "Block-size sweep (Water), unopt vs opt"}
 	for _, bs := range []int{32, 64, 128, 256, 1024} {
 		for _, v := range []struct {
 			label string
 			proto rt.ProtocolKind
 		}{{"unopt", rt.ProtoStache}, {"opt", rt.ProtoPredictive}} {
-			r, err := water.Run(waterCfg(scale, v.proto, bs, false))
+			r, err := water.Run(waterCfg(o, v.proto, bs, false))
 			if err != nil {
 				return nil, err
 			}
@@ -327,7 +327,7 @@ func runSweep(scale Scale) (*Result, error) {
 // runPlatforms runs Water opt/unopt under three interconnect models and
 // reports how the predictive protocol's benefit scales with remote
 // latency.
-func runPlatforms(scale Scale) (*Result, error) {
+func runPlatforms(o Options) (*Result, error) {
 	res := &Result{ID: "platforms", Title: "Water opt vs unopt across platforms (32B blocks)"}
 	platforms := []struct {
 		tag string
@@ -345,7 +345,7 @@ func runPlatforms(scale Scale) (*Result, error) {
 			label string
 			proto rt.ProtocolKind
 		}{{"unopt", rt.ProtoStache}, {"opt", rt.ProtoPredictive}} {
-			cfg := waterCfg(scale, v.proto, 32, false)
+			cfg := waterCfg(o, v.proto, 32, false)
 			cfg.Machine.Net = pl.net()
 			r, err := water.Run(cfg)
 			if err != nil {
@@ -369,13 +369,13 @@ func runPlatforms(scale Scale) (*Result, error) {
 	return res, nil
 }
 
-func runAblateCoalesce(scale Scale) (*Result, error) {
+func runAblateCoalesce(o Options) (*Result, error) {
 	res := &Result{ID: "ablate-coalesce", Title: "Pre-send coalescing on/off (Adaptive, 32B)"}
 	for _, v := range []struct {
 		label string
 		off   bool
 	}{{"coalescing on", false}, {"coalescing off", true}} {
-		cfg := adaptiveCfg(scale, rt.ProtoPredictive, 32)
+		cfg := adaptiveCfg(o, rt.ProtoPredictive, 32)
 		cfg.Machine.NoCoalesce = v.off
 		r, err := adaptive.Run(cfg)
 		if err != nil {
@@ -394,15 +394,15 @@ func runAblateCoalesce(scale Scale) (*Result, error) {
 // runAblateConflicts uses a synthetic false-sharing kernel (one node
 // repeatedly writes the left half of each block while another reads the
 // right half in the same phase — the paper's conflict scenario, §3.3).
-func runAblateConflicts(scale Scale) (*Result, error) {
+func runAblateConflicts(o Options) (*Result, error) {
 	res := &Result{ID: "ablate-conflicts", Title: "Conflict anticipation off/on (false-sharing kernel, 64B)"}
 	iters := 16
 	blocks := 64
-	if scale == Quick {
+	if o.Scale == Quick {
 		iters, blocks = 10, 32
 	}
 	run := func(label string, anticipate bool) error {
-		m := rt.New(rt.Config{Nodes: 2, BlockSize: 64, Protocol: rt.ProtoPredictive, AnticipateConflicts: anticipate})
+		m := rt.New(o.machine(rt.Config{Nodes: 2, BlockSize: 64, Protocol: rt.ProtoPredictive, AnticipateConflicts: anticipate}))
 		// 8 elements per 64B block; all blocks homed on node 0.
 		arr := m.NewArray1D("x", blocks*8, 1, false)
 		err := m.Run(func(w *rt.Worker) {
@@ -441,16 +441,16 @@ func runAblateConflicts(scale Scale) (*Result, error) {
 // deletion-heavy pattern: consumers rotate away from previously read
 // blocks, so stale schedule entries cause redundant pre-sends unless
 // flushed.
-func runAblateFlush(scale Scale) (*Result, error) {
+func runAblateFlush(o Options) (*Result, error) {
 	res := &Result{ID: "ablate-flush", Title: "Schedule flushing under a rotating (deletion-heavy) pattern"}
 	iters := 24
 	elems := 512
 	nodes := 16
-	if scale == Quick {
+	if o.Scale == Quick {
 		iters, elems, nodes = 16, 256, 8
 	}
 	run := func(label string, flushEvery, policyEvery int) error {
-		m := rt.New(rt.Config{Nodes: nodes, BlockSize: 32, Protocol: rt.ProtoPredictive, FlushEvery: policyEvery})
+		m := rt.New(o.machine(rt.Config{Nodes: nodes, BlockSize: 32, Protocol: rt.ProtoPredictive, FlushEvery: policyEvery}))
 		arr := m.NewArray1D("x", elems, 1, false)
 		err := m.Run(func(w *rt.Worker) {
 			lo, hi := arr.MyRange(w)

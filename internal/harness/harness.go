@@ -35,6 +35,31 @@ func ParseScale(s string) Scale {
 	return Quick
 }
 
+// Options selects how experiments execute: the workload scale and the
+// kernel engine. The engine changes wall-clock time only — results are
+// byte-identical across engines (asserted by determinism tests).
+type Options struct {
+	Scale Scale
+	// Engine is the kernel execution strategy (default rt.EngineSerial).
+	Engine rt.EngineKind
+	// Workers caps parallel-engine workers (default GOMAXPROCS).
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Engine == "" {
+		o.Engine = rt.EngineSerial
+	}
+	return o
+}
+
+// machine stamps the engine selection onto a machine configuration.
+func (o Options) machine(c rt.Config) rt.Config {
+	c.Engine = o.Engine
+	c.Workers = o.Workers
+	return c
+}
+
 // Row is one bar of a figure: a program version's time breakdown.
 type Row struct {
 	Label     string
@@ -57,6 +82,9 @@ type Result struct {
 	// Notes carries derived findings (speedups, crossovers) recorded in
 	// EXPERIMENTS.md.
 	Notes []string
+	// Engine records the kernel engine the experiment ran under. It is
+	// metadata only: rows and CSV output are engine-independent.
+	Engine rt.EngineKind
 }
 
 // Best returns the fastest row matching the label prefix.
@@ -95,6 +123,9 @@ func (res *Result) AddNote(format string, args ...any) {
 // version, split into remote-wait / pre-send / compute+synch).
 func (res *Result) Render(w io.Writer) {
 	fmt.Fprintf(w, "== %s: %s ==\n\n", res.ID, res.Title)
+	if res.Engine != "" && res.Engine != rt.EngineSerial {
+		fmt.Fprintf(w, "(engine: %s)\n\n", res.Engine)
+	}
 	if len(res.Rows) == 0 {
 		for _, n := range res.Notes {
 			fmt.Fprintln(w, n)
@@ -190,7 +221,18 @@ type Experiment struct {
 	Title string
 	// Paper states the qualitative claim being reproduced.
 	Paper string
-	Run   func(scale Scale) (*Result, error)
+	Run   func(o Options) (*Result, error)
+}
+
+// RunExperiment executes the experiment with the given options and stamps
+// the result with the engine it ran under.
+func RunExperiment(e Experiment, o Options) (*Result, error) {
+	o = o.withDefaults()
+	res, err := e.Run(o)
+	if res != nil {
+		res.Engine = o.Engine
+	}
+	return res, err
 }
 
 var registry []Experiment

@@ -1,0 +1,212 @@
+// Package kernelbench defines the simulation kernel's hot-path benchmark
+// workloads in one place, so that `go test -bench` (internal/sim) and
+// `paperbench -kernel-bench` (which records the committed BENCH_kernel.json)
+// measure exactly the same code.
+//
+// Every workload spawns fresh Procs on a fresh Kernel and counts one kernel
+// "operation" per loop iteration; allocation numbers therefore amortize the
+// fixed setup cost over b.N and converge to the per-event hot-path cost.
+package kernelbench
+
+import (
+	"fmt"
+	"testing"
+
+	"presto/internal/sim"
+)
+
+// Case is one kernel benchmark workload.
+type Case struct {
+	Name  string
+	Bench func(b *testing.B)
+}
+
+// Cases returns the kernel hot-path workloads in stable order.
+func Cases() []Case {
+	return []Case{
+		{"send_recv", benchSendRecv},
+		{"send_recv_burst64", benchBurst},
+		{"barrier8", benchBarrier},
+		{"sleep_advance", benchSleep},
+		{"fanout8", benchFanout},
+		{"mesh8_serial", benchMesh(false)},
+		{"mesh8_parallel4", benchMesh(true)},
+	}
+}
+
+// benchSendRecv is the canonical send/recv path: two Procs ping-pong one
+// message per iteration. Each op is one full round trip (two deliveries,
+// two resumes).
+func benchSendRecv(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.NewKernel()
+	var msg any = new(struct{})
+	n := b.N
+	pong := k.Spawn("pong", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			d := p.Recv()
+			p.Send(d.From, msg, sim.Microsecond)
+		}
+	})
+	k.Spawn("ping", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			p.Send(pong, msg, sim.Microsecond)
+			p.Recv()
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchBurst drives the mailbox to depth 64 before the consumer drains it:
+// the producer fires a burst while the consumer sleeps, so deliveries queue
+// up and every Recv dequeues from a deep mailbox. A linear-time dequeue
+// makes this workload quadratic in the burst size.
+func benchBurst(b *testing.B) {
+	const (
+		burst  = 64
+		window = 200 * sim.Microsecond
+	)
+	b.ReportAllocs()
+	k := sim.NewKernel()
+	var msg any = new(struct{})
+	n := b.N
+	cons := k.Spawn("cons", func(p *sim.Proc) {
+		got := 0
+		for got < n {
+			p.Sleep(window) // deliveries queue but do not wake a sleeper
+			for p.Pending() > 0 {
+				p.Recv()
+				got++
+			}
+		}
+	})
+	k.Spawn("prod", func(p *sim.Proc) {
+		sent := 0
+		for sent < n {
+			m := burst
+			if n-sent < m {
+				m = n - sent
+			}
+			for j := 0; j < m; j++ {
+				p.Send(cons, msg, sim.Microsecond)
+			}
+			sent += m
+			p.Sleep(window) // yield so earlier bursts deliver; aligns with the consumer's next window
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchBarrier measures the barrier arrive/release path with 8 Procs.
+// Each op is one barrier crossing by one Proc.
+func benchBarrier(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.NewKernel()
+	const procs = 8
+	bar := k.NewBarrier(procs, 10*sim.Microsecond)
+	n := b.N
+	for i := 0; i < procs; i++ {
+		k.Spawn(fmt.Sprintf("w%d", i), func(p *sim.Proc) {
+			for j := 0; j < n; j++ {
+				p.Advance(sim.Microsecond)
+				p.Wait(bar)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchSleep measures the clock-advance + self-resume path: a single Proc
+// alternating Advance and Sleep, one timer event per op.
+func benchSleep(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.NewKernel()
+	n := b.N
+	k.Spawn("sleeper", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			p.Advance(100 * sim.Nanosecond)
+			p.Sleep(sim.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchMesh is an 8-proc ring where every proc forwards a message to its
+// right neighbor each round — the parallel engine's best case (all lanes
+// busy every window). Run serially and with the parallel engine so the
+// two engines' per-event overhead can be compared on one workload. Each
+// op is one round (8 sends + 8 receives).
+func benchMesh(parallel bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		const (
+			procs = 8
+			delay = 10 * sim.Microsecond
+		)
+		b.ReportAllocs()
+		k := sim.NewKernel()
+		var msg any = new(struct{})
+		n := b.N
+		ring := make([]*sim.Proc, procs)
+		for i := 0; i < procs; i++ {
+			i := i
+			ring[i] = k.Spawn(fmt.Sprintf("m%d", i), func(p *sim.Proc) {
+				for r := 0; r < n; r++ {
+					p.Send(ring[(i+1)%procs], msg, delay)
+					p.Recv()
+				}
+			})
+		}
+		b.ResetTimer()
+		var err error
+		if parallel {
+			err = k.RunParallel(sim.ParallelConfig{Workers: 4, Lookahead: delay})
+		} else {
+			err = k.Run()
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFanout has one producer broadcasting to 8 consumers per iteration,
+// exercising the event queue under wider fan-out than the ping-pong case.
+func benchFanout(b *testing.B) {
+	const fan = 8
+	b.ReportAllocs()
+	k := sim.NewKernel()
+	var msg any = new(struct{})
+	n := b.N
+	consumers := make([]*sim.Proc, fan)
+	for i := range consumers {
+		consumers[i] = k.Spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) {
+			for j := 0; j < n; j++ {
+				p.Recv()
+			}
+		})
+	}
+	k.Spawn("prod", func(p *sim.Proc) {
+		for j := 0; j < n; j++ {
+			for _, c := range consumers {
+				p.Send(c, msg, sim.Microsecond)
+			}
+			p.Sleep(2 * sim.Microsecond) // yield so the fan-out delivers each round
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -110,6 +110,20 @@ func (p *Params) TransitDelay(payload int) sim.Time {
 	return p.WireLatency + sim.Time(payload+p.HeaderBytes)*p.PerByteWire
 }
 
+// MinLatency returns the smallest virtual-time gap between an action on
+// one node and its earliest possible effect on another node: the lesser of
+// the minimal message transit delay (empty payload, header only) and the
+// barrier release cost. It is the safe lookahead for conservative parallel
+// simulation (sim.ParallelConfig.Lookahead): within a window narrower than
+// MinLatency, nodes cannot affect each other.
+func (p *Params) MinLatency() sim.Time {
+	min := p.TransitDelay(0)
+	if p.BarrierLatency < min {
+		min = p.BarrierLatency
+	}
+	return min
+}
+
 // RemoteReadMiss2Hop estimates the latency of a simple two-hop read miss
 // for a block of the given size. Used for calibration tests and docs, not
 // by the protocols themselves.

@@ -45,3 +45,28 @@ func TestBulkCheaperThanManySmall(t *testing.T) {
 		t.Fatalf("bulk %v not cheaper than 8 small %v", bulk, many)
 	}
 }
+
+// TestMinLatency pins the conservative-parallel lookahead: it must be the
+// smaller of the minimal transit delay and the barrier cost, and positive
+// on every platform model.
+func TestMinLatency(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    *Params
+	}{{"CM5", CM5()}, {"NOW", NOW()}, {"HardwareDSM", HardwareDSM()}} {
+		min := tc.p.MinLatency()
+		if min <= 0 {
+			t.Fatalf("%s: MinLatency = %v, want > 0", tc.name, min)
+		}
+		if min > tc.p.TransitDelay(0) || min > tc.p.BarrierLatency {
+			t.Fatalf("%s: MinLatency %v exceeds transit %v or barrier %v",
+				tc.name, min, tc.p.TransitDelay(0), tc.p.BarrierLatency)
+		}
+	}
+	// On the CM-5 the minimal transit (6us wire + 16 header bytes) is well
+	// below the 40us barrier, so it is the lookahead.
+	cm5 := CM5()
+	if got, want := cm5.MinLatency(), cm5.TransitDelay(0); got != want {
+		t.Fatalf("CM5 MinLatency = %v, want TransitDelay(0) = %v", got, want)
+	}
+}

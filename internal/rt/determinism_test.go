@@ -1,0 +1,107 @@
+// Determinism acceptance tests for the parallel engine: running any of
+// the paper applications with Engine=EngineParallel must produce output
+// byte-identical to the serial engine — the same final virtual time, the
+// same metrics report, and the same JSONL protocol trace.
+package rt_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"presto/internal/apps/adaptive"
+	"presto/internal/apps/barnes"
+	"presto/internal/apps/water"
+	"presto/internal/rt"
+	"presto/internal/sim"
+	"presto/internal/trace"
+)
+
+// artifacts captures everything a run externalizes.
+type artifacts struct {
+	elapsed sim.Time
+	report  []byte
+	trace   []byte
+}
+
+// runApp executes one small configuration of the named app with a JSONL
+// trace attached and returns its observable output.
+func runApp(t *testing.T, app string, engine rt.EngineKind, workers int) artifacts {
+	t.Helper()
+	var buf bytes.Buffer
+	jsonl := trace.NewJSONL(&buf)
+	mc := rt.Config{
+		Nodes: 8, BlockSize: 32, Protocol: rt.ProtoPredictive,
+		Engine: engine, Workers: workers, Sink: jsonl,
+	}
+	var m *rt.Machine
+	var err error
+	switch app {
+	case "adaptive":
+		var r *adaptive.Result
+		r, err = adaptive.Run(adaptive.Config{Machine: mc, Size: 32, Iters: 1, RefineEvery: 1})
+		if err == nil {
+			m = r.Machine
+		}
+	case "barnes":
+		var r *barnes.Result
+		r, err = barnes.Run(barnes.Config{Machine: mc, Bodies: 256, Iters: 1})
+		if err == nil {
+			m = r.Machine
+		}
+	case "water":
+		var r *water.Result
+		r, err = water.Run(water.Config{Machine: mc, Molecules: 64, Steps: 1})
+		if err == nil {
+			m = r.Machine
+		}
+	default:
+		t.Fatalf("unknown app %q", app)
+	}
+	if err != nil {
+		t.Fatalf("%s (%s): %v", app, engine, err)
+	}
+	if err := jsonl.Close(); err != nil {
+		t.Fatalf("trace close: %v", err)
+	}
+	rep, err := json.Marshal(m.Report())
+	if err != nil {
+		t.Fatalf("report marshal: %v", err)
+	}
+	return artifacts{elapsed: m.Elapsed(), report: rep, trace: buf.Bytes()}
+}
+
+// TestParallelEngineDeterminism runs one iteration of each paper
+// application under both engines and requires identical final virtual
+// time, metrics report bytes, and protocol trace bytes.
+func TestParallelEngineDeterminism(t *testing.T) {
+	for _, app := range []string{"adaptive", "barnes", "water"} {
+		t.Run(app, func(t *testing.T) {
+			serial := runApp(t, app, rt.EngineSerial, 0)
+			for _, workers := range []int{1, 4} {
+				par := runApp(t, app, rt.EngineParallel, workers)
+				if serial.elapsed != par.elapsed {
+					t.Fatalf("workers=%d: elapsed %v (serial) vs %v (parallel)",
+						workers, serial.elapsed, par.elapsed)
+				}
+				if !bytes.Equal(serial.report, par.report) {
+					t.Fatalf("workers=%d: metrics reports differ:\nserial:   %.400s\nparallel: %.400s",
+						workers, serial.report, par.report)
+				}
+				if !bytes.Equal(serial.trace, par.trace) {
+					t.Fatalf("workers=%d: JSONL traces differ (serial %d bytes, parallel %d bytes)",
+						workers, len(serial.trace), len(par.trace))
+				}
+			}
+		})
+	}
+}
+
+// TestParallelEngineUnknown rejects unrecognized engine names.
+func TestParallelEngineUnknown(t *testing.T) {
+	m := rt.New(rt.Config{Nodes: 2, Engine: rt.EngineKind("warp")})
+	err := m.Run(func(w *rt.Worker) { w.Barrier() })
+	if err == nil {
+		t.Fatal("expected error for unknown engine")
+	}
+}

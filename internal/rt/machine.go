@@ -12,6 +12,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 
 	"presto/internal/core"
@@ -37,6 +38,19 @@ const (
 	// ProtoUpdate is the write-update protocol used by the hand-optimized
 	// SPMD baseline (Falsafi et al.).
 	ProtoUpdate ProtocolKind = "update"
+)
+
+// EngineKind selects how the simulation kernel executes events.
+type EngineKind string
+
+const (
+	// EngineSerial is the classic single-threaded event loop.
+	EngineSerial EngineKind = "serial"
+	// EngineParallel runs nodes concurrently inside conservative time
+	// windows bounded by the interconnect's minimum latency, committing
+	// results in serial event order — output is byte-identical to
+	// EngineSerial.
+	EngineParallel EngineKind = "parallel"
 )
 
 // Config describes one machine configuration.
@@ -66,6 +80,11 @@ type Config struct {
 	// each phase schedule every FlushEvery-th pre-send (deletion-heavy
 	// patterns, paper §3.3).
 	FlushEvery int
+	// Engine selects the kernel execution strategy (default EngineSerial).
+	Engine EngineKind
+	// Workers caps the worker goroutines of the parallel engine
+	// (default GOMAXPROCS). Ignored for EngineSerial.
+	Workers int
 }
 
 func (c *Config) withDefaults() Config {
@@ -81,6 +100,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.Net == nil {
 		out.Net = network.CM5()
+	}
+	if out.Engine == "" {
+		out.Engine = EngineSerial
 	}
 	return out
 }
@@ -105,7 +127,6 @@ type Machine struct {
 	combBufs   [][]float64
 	ends       []sim.Time
 	ran        bool
-	flowSeq    int64
 	phaseNames map[int]string
 }
 
@@ -162,7 +183,6 @@ func (m *Machine) Run(prog Program) error {
 	for i := 0; i < c.Nodes; i++ {
 		n := tempest.NewNode(i, m.AS, c.Net, m.Proto)
 		n.Trace = sink
-		n.FlowSeq = &m.flowSeq
 		n.UseMetrics(m.Reg)
 		m.Nodes[i] = n
 	}
@@ -177,6 +197,7 @@ func (m *Machine) Run(prog Program) error {
 	}
 	m.redBufs[0] = make([]float64, c.Nodes)
 	m.redBufs[1] = make([]float64, c.Nodes)
+	m.combBufs = make([][]float64, c.Nodes)
 	m.ends = make([]sim.Time, c.Nodes)
 	for _, n := range m.Nodes {
 		n := n
@@ -187,7 +208,27 @@ func (m *Machine) Run(prog Program) error {
 			m.ends[n.ID] = p.Now()
 		})
 	}
-	return m.Kernel.Run()
+	switch c.Engine {
+	case EngineSerial:
+		return m.Kernel.Run()
+	case EngineParallel:
+		workers := c.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		// One lane per node: a node's compute and protocol processors
+		// share state (Store, Dir, Stats, metrics), so they must execute
+		// on the same lane. Spawn order is protos 0..N-1 then computes
+		// N..2N-1, so ID mod Nodes maps both of node i's procs to lane i.
+		return m.Kernel.RunParallel(sim.ParallelConfig{
+			Workers:   workers,
+			Lookahead: c.Net.MinLatency(),
+			Lanes:     c.Nodes,
+			LaneOf:    func(p *sim.Proc) int { return p.ID() % c.Nodes },
+		})
+	default:
+		return fmt.Errorf("rt: unknown engine %q", c.Engine)
+	}
 }
 
 // Elapsed returns the machine's execution time: the latest compute

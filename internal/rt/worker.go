@@ -110,22 +110,24 @@ func (w *Worker) Phase(id int, body func()) {
 func (w *Worker) beginPhase(id, iter int) {
 	w.Node.BeginPhaseMetrics(id, iter)
 	if w.Node.Trace != nil {
-		w.Node.Trace.Record(trace.Event{
+		ev := trace.Event{
 			At: w.P.Now(), Node: w.ID, Proc: trace.ProcCompute,
 			Kind: trace.PhaseBegin, Phase: id, Iter: iter,
 			What: w.M.PhaseName(id),
-		})
+		}
+		w.P.OnCommit(func() { w.Node.Trace.Record(ev) })
 	}
 }
 
 // endPhase closes the trace span and leaves the metrics context.
 func (w *Worker) endPhase(id, iter int) {
 	if w.Node.Trace != nil {
-		w.Node.Trace.Record(trace.Event{
+		ev := trace.Event{
 			At: w.P.Now(), Node: w.ID, Proc: trace.ProcCompute,
 			Kind: trace.PhaseEnd, Phase: id, Iter: iter,
 			What: w.M.PhaseName(id),
-		})
+		}
+		w.P.OnCommit(func() { w.Node.Trace.Record(ev) })
 	}
 	w.Node.EndPhaseMetrics()
 }
@@ -321,9 +323,6 @@ func (w *Worker) AwaitSignal() int {
 // buffers may be reused.
 func (w *Worker) CombineArrays(local []float64, lo, hi int) []float64 {
 	m := w.M
-	if m.combBufs == nil {
-		m.combBufs = make([][]float64, m.Cfg.Nodes)
-	}
 	m.combBufs[w.ID] = local
 	w.Barrier()
 	out := make([]float64, hi-lo)

@@ -1,0 +1,16 @@
+package sim_test
+
+import (
+	"testing"
+
+	"presto/internal/kernelbench"
+)
+
+// BenchmarkKernel runs the shared kernel hot-path workloads (see
+// internal/kernelbench). paperbench -kernel-bench records the same cases
+// into BENCH_kernel.json.
+func BenchmarkKernel(b *testing.B) {
+	for _, c := range kernelbench.Cases() {
+		b.Run(c.Name, c.Bench)
+	}
+}

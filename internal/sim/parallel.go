@@ -1,0 +1,431 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Conservative parallel execution.
+//
+// RunParallel partitions Procs into lanes — groups that may share mutable
+// simulated state and therefore must execute serially relative to each
+// other (for the DSM machine: the compute and protocol Procs of one node).
+// Cross-lane interaction happens only through timestamped messages whose
+// delay is bounded below by the configured lookahead L (the interconnect's
+// minimum cross-node latency), so an event at virtual time t can only
+// schedule work on another lane at t+L or later.
+//
+// Each round the engine takes the earliest pending event time T and opens
+// the window [T, T+L): every queued event inside the window is handed to
+// its lane, and the active lanes execute concurrently on a worker pool.
+// Nothing a lane does inside the window can affect another lane inside the
+// same window, so each lane's mini-kernel processes exactly the events the
+// serial engine would have given it, in the same relative order.
+//
+// Side effects are not applied during lane execution. Posted events are
+// buffered per activation, OnCommit effects (trace records) are deferred,
+// and barrier arrivals are logged. After all lanes join, a single-threaded
+// commit replay merges the window's events in global (timestamp, sequence)
+// order, assigns the real sequence numbers to buffered posts in exactly
+// the order the serial engine would have (posts of an earlier activation
+// precede posts of a later one; posts within an activation keep program
+// order), applies barrier arrivals, runs deferred effects, and maintains
+// the kernel's dispatch statistics. The replay cross-checks every commit
+// against the lane's own execution log and panics on divergence, and it
+// panics if any buffered event lands inside the window on a foreign lane
+// (a lookahead violation). The result — final state, sequence numbers,
+// statistics, traces — is byte-identical to the serial engine's.
+
+// ParallelConfig configures Kernel.RunParallel.
+type ParallelConfig struct {
+	// Workers bounds how many lanes execute concurrently. Values <= 1
+	// keep lane execution on the caller's goroutine — the full commit
+	// machinery still runs, which makes Workers=1 useful for determinism
+	// testing on small hosts.
+	Workers int
+
+	// Lookahead is the conservative window width: a strict lower bound on
+	// the virtual-time delay of any cross-lane interaction (message or
+	// barrier release). Must be positive. See network.Params.MinLatency.
+	Lookahead Time
+
+	// Lanes is the number of lanes; LaneOf maps each Proc to a lane in
+	// [0, Lanes). Procs that share mutable simulated state must map to
+	// the same lane. When Lanes is 0, every Proc gets its own lane
+	// (LaneOf is ignored), which is valid only for Procs that interact
+	// purely through messages delayed by at least Lookahead.
+	Lanes  int
+	LaneOf func(p *Proc) int
+}
+
+// laneStep records one event processed by a lane inside a window: the
+// event itself, everything the activation posted (in program order, with
+// provisional lane-local keys), deferred OnCommit effects, an optional
+// barrier arrival, and whether the activation panicked.
+type laneStep struct {
+	ev        *event
+	posts     []*event
+	effects   []func()
+	barrier   *Barrier
+	barrierAt Time
+	panicked  any
+	skipped   bool // event targeted an already-finished Proc
+}
+
+// lane executes a group of Procs serially within a window. Its fields are
+// touched by the lane's worker goroutine during execution and by the
+// engine goroutine during extraction/commit — never both at once; the
+// round's fork/join provides the happens-before edges.
+type lane struct {
+	id        int
+	park      chan struct{}
+	pool      eventPool
+	pending   laneHeap
+	steps     []laneStep
+	cur       *laneStep
+	next      int    // commit-replay cursor into steps
+	postKey   uint64 // provisional order key for freshly posted events
+	windowEnd Time
+	active    bool
+}
+
+// laneHeap orders a lane's window events: by timestamp, then established
+// events (global seq already assigned) before fresh posts — a fresh post
+// always receives a larger global seq than any event that existed when the
+// window opened — then fresh posts by lane-local post order, which is the
+// order the serial engine would have posted (and hence sequenced) them.
+type laneHeap []*event
+
+func (h laneHeap) less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.fresh != b.fresh {
+		return !a.fresh
+	}
+	return a.seq < b.seq
+}
+
+func (h *laneHeap) push(e *event) {
+	q := append(*h, e)
+	*h = q
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *laneHeap) pop() *event {
+	q := *h
+	n := len(q) - 1
+	e := q[0]
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && q.less(r, l) {
+			c = r
+		}
+		if !q.less(c, i) {
+			break
+		}
+		q[i], q[c] = q[c], q[i]
+		i = c
+	}
+	return e
+}
+
+// newStep appends (or recycles) a step record for event e.
+func (l *lane) newStep(e *event) *laneStep {
+	if len(l.steps) < cap(l.steps) {
+		l.steps = l.steps[:len(l.steps)+1]
+	} else {
+		l.steps = append(l.steps, laneStep{})
+	}
+	st := &l.steps[len(l.steps)-1]
+	st.ev = e
+	st.posts = st.posts[:0]
+	st.effects = st.effects[:0]
+	st.barrier = nil
+	st.barrierAt = 0
+	st.panicked = nil
+	st.skipped = false
+	return st
+}
+
+// postLocal buffers an event posted by this lane's running Proc. Events
+// destined for this lane inside the current window also enter the lane's
+// pending heap so they are processed before the window closes, exactly as
+// the serial engine would.
+func (l *lane) postLocal(at Time, kind eventKind, dst, from *Proc, msg any) {
+	e := l.pool.get()
+	e.at, e.kind, e.proc, e.from, e.msg = at, kind, dst, from, msg
+	e.fresh = true
+	e.seq = l.postKey
+	l.postKey++
+	l.cur.posts = append(l.cur.posts, e)
+	if at < l.windowEnd && dst.lane == l {
+		l.pending.push(e)
+	}
+}
+
+// run drains the lane's pending window events, mirroring the serial
+// kernel's dispatch for each one and logging a step per event.
+func (l *lane) run() {
+	for len(l.pending) > 0 {
+		e := l.pending.pop()
+		st := l.newStep(e)
+		l.cur = st
+		p := e.proc
+		if p.state == stateDone {
+			st.skipped = true
+			continue
+		}
+		switch e.kind {
+		case evResume:
+			if p.state == stateRunning {
+				panic("sim: resume of running proc")
+			}
+			if e.at > p.now {
+				p.now = e.at
+			}
+			l.activate(p)
+		case evDeliver:
+			p.mpush(Delivery{At: e.at, From: e.from, Msg: e.msg})
+			if p.state == stateBlockedRecv {
+				l.activate(p)
+			}
+		}
+		if st.panicked != nil {
+			// Stop executing; the commit replay re-raises the panic at
+			// this step's position in global order.
+			return
+		}
+	}
+}
+
+func (l *lane) activate(p *Proc) {
+	p.state = stateRunning
+	p.resume <- struct{}{}
+	<-l.park
+	if p.panicVal != nil {
+		l.cur.panicked = p.panicVal
+	}
+}
+
+// RunParallel executes the simulation with the conservative parallel
+// engine. It produces results byte-identical to Run: same final Proc
+// clocks, same message sequence numbers, same KernelStats, and OnCommit
+// effects in the same global order.
+func (k *Kernel) RunParallel(cfg ParallelConfig) error {
+	if k.finished {
+		return fmt.Errorf("sim: kernel already ran")
+	}
+	if cfg.Lookahead <= 0 {
+		panic("sim: RunParallel requires a positive lookahead")
+	}
+	nlanes, laneOf := cfg.Lanes, cfg.LaneOf
+	if nlanes <= 0 {
+		nlanes = len(k.procs)
+		laneOf = func(p *Proc) int { return p.id }
+	} else if laneOf == nil {
+		panic("sim: ParallelConfig.Lanes set without LaneOf")
+	}
+	k.started = true
+	k.parallel = true
+	lanes := make([]*lane, nlanes)
+	for i := range lanes {
+		lanes[i] = &lane{id: i, park: make(chan struct{}, 1)}
+	}
+	for _, p := range k.procs {
+		li := laneOf(p)
+		if li < 0 || li >= nlanes {
+			panic(fmt.Sprintf("sim: LaneOf(%q) = %d out of range [0,%d)", p.name, li, nlanes))
+		}
+		p.lane = lanes[li]
+		p.park = lanes[li].park
+	}
+
+	workers := cfg.Workers
+	if workers > nlanes {
+		workers = nlanes
+	}
+	var work chan *lane
+	var wg sync.WaitGroup
+	if workers > 1 {
+		work = make(chan *lane)
+		defer close(work)
+		for i := 0; i < workers; i++ {
+			go func() {
+				for l := range work {
+					l.run()
+					wg.Done()
+				}
+			}()
+		}
+	}
+
+	var active []*lane
+	var replay eventHeap
+	for len(k.queue) > 0 {
+		if k.MaxEvents > 0 && k.processed >= k.MaxEvents {
+			k.finished = true
+			return &RunawayError{Events: k.processed, At: k.queue.peek().at}
+		}
+		windowEnd := k.queue.peek().at + cfg.Lookahead
+		active = active[:0]
+		replay = replay[:0]
+		for len(k.queue) > 0 && k.queue.peek().at < windowEnd {
+			e := k.queue.pop()
+			l := e.proc.lane
+			if !l.active {
+				l.active = true
+				l.windowEnd = windowEnd
+				active = append(active, l)
+			}
+			l.pending.push(e)
+			replay.push(e)
+		}
+
+		switch {
+		case len(active) == 1:
+			active[0].run()
+		case work == nil:
+			for _, l := range active {
+				l.run()
+			}
+		default:
+			wg.Add(len(active))
+			for _, l := range active {
+				work <- l
+			}
+			wg.Wait()
+		}
+
+		err, panicVal := k.commitWindow(&replay, windowEnd)
+		for _, l := range active {
+			l.active = false
+			l.steps = l.steps[:0]
+			l.next = 0
+			l.postKey = 0
+			l.cur = nil
+		}
+		if panicVal != nil {
+			k.finished = true
+			panic(panicVal)
+		}
+		if err != nil {
+			k.finished = true
+			return err
+		}
+	}
+	return k.conclude()
+}
+
+// commitWindow replays the window's events in global (timestamp, sequence)
+// order, assigning real sequence numbers to buffered posts, applying
+// barrier arrivals, and running deferred effects. It mirrors the serial
+// engine's statistics exactly: the union of the replay heap and the global
+// queue is, at every step, the serial engine's event queue at the
+// corresponding moment.
+func (k *Kernel) commitWindow(replay *eventHeap, windowEnd Time) (error, any) {
+	for len(*replay) > 0 {
+		if k.MaxEvents > 0 && k.processed >= k.MaxEvents {
+			return &RunawayError{Events: k.processed, At: replay.peek().at}, nil
+		}
+		if n := len(k.queue) + len(*replay); n > k.maxQueue {
+			k.maxQueue = n
+		}
+		k.processed++
+		e := replay.pop()
+		l := e.proc.lane
+		if l.next >= len(l.steps) || l.steps[l.next].ev != e {
+			panic(fmt.Sprintf("sim: parallel commit diverged from lane %d execution order (proc %q at %v)",
+				l.id, e.proc.name, e.at))
+		}
+		st := &l.steps[l.next]
+		l.next++
+		if !st.skipped {
+			if e.kind == evResume {
+				k.resumes++
+			} else {
+				k.deliveries++
+			}
+		}
+		for _, pe := range st.posts {
+			pe.seq = k.seq
+			k.seq++
+			pe.fresh = false
+			if pe.at < windowEnd {
+				if pe.proc.lane != l {
+					panic(fmt.Sprintf(
+						"sim: lookahead violation: %q scheduled an event on lane %d at %v, inside the window ending %v",
+						e.proc.name, pe.proc.lane.id, pe.at, windowEnd))
+				}
+				replay.push(pe)
+			} else {
+				k.queue.push(pe)
+			}
+		}
+		for _, fn := range st.effects {
+			fn()
+		}
+		if st.barrier != nil {
+			k.applyArrival(st, windowEnd)
+		}
+		if st.panicked != nil {
+			return nil, st.panicked
+		}
+		l.pool.put(e)
+	}
+	return nil, nil
+}
+
+// applyArrival applies one logged barrier arrival in commit order. The
+// arrival is always the final action of its activation (Wait blocks), so
+// applying it after the activation's posts preserves the serial sequence.
+func (k *Kernel) applyArrival(st *laneStep, windowEnd Time) {
+	b := st.barrier
+	p := st.ev.proc
+	b.count++
+	if st.barrierAt > b.maxAt {
+		b.maxAt = st.barrierAt
+	}
+	if b.count < b.n {
+		b.waiters = append(b.waiters, p)
+		return
+	}
+	// Last arrival: release everyone (waiters in arrival order, then the
+	// last arriver), exactly as the serial Wait does.
+	release := b.maxAt + b.cost
+	if release < windowEnd {
+		panic(fmt.Sprintf(
+			"sim: lookahead violation: barrier release at %v inside the window ending %v (barrier cost < lookahead)",
+			release, windowEnd))
+	}
+	for _, w := range b.waiters {
+		e := k.pool.get()
+		e.at, e.kind, e.proc = release, evResume, w
+		k.post(e)
+	}
+	e := k.pool.get()
+	e.at, e.kind, e.proc = release, evResume, p
+	k.post(e)
+	b.count = 0
+	b.maxAt = 0
+	b.waiters = b.waiters[:0]
+	b.epoch++
+}

@@ -3,10 +3,15 @@
 // The kernel models a parallel machine in virtual time. Each simulated
 // activity is a Proc: a goroutine with a private virtual clock that
 // exchanges timestamped messages with other Procs and synchronizes at
-// barriers. The kernel serializes execution — exactly one Proc goroutine
-// runs at any real instant, and control is handed out in global
-// (timestamp, sequence) order — so simulations are fully deterministic and
-// need no locking in the simulated node state.
+// barriers. Under the serial engine (Run) the kernel serializes execution —
+// exactly one Proc goroutine runs at any real instant, and control is
+// handed out in global (timestamp, sequence) order — so simulations are
+// fully deterministic and need no locking in the simulated node state.
+//
+// The parallel engine (RunParallel) executes groups of Procs ("lanes")
+// concurrently inside conservative lookahead windows and commits their
+// side effects in the same global (timestamp, sequence) order, producing
+// results byte-identical to the serial engine; see parallel.go.
 //
 // A Proc advances its own clock with Advance (batched, without yielding to
 // the kernel); cross-Proc interaction happens only through timestamped
@@ -17,7 +22,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -99,14 +103,23 @@ type Proc struct {
 	name   string
 	daemon bool
 
-	now     Time
-	state   procState
-	mailbox []Delivery // ordered by arrival (kernel delivers in time order)
+	now   Time
+	state procState
+
+	// Mailbox is a power-of-two ring buffer ordered by arrival (the
+	// kernel delivers in time order), so dequeue is O(1) regardless of
+	// backlog depth.
+	mbox  []Delivery
+	mhead int
+	mlen  int
 
 	resume chan struct{}
+	park   chan struct{} // the executor's park channel (kernel's, or the lane's)
+	lane   *lane         // non-nil while running under the parallel engine
 	fn     func(*Proc)
 
-	err error // set if fn panicked
+	err      error // set if fn panicked
+	panicVal any
 }
 
 // ID returns the Proc's kernel-assigned identifier (dense, from 0).
@@ -127,6 +140,37 @@ func (p *Proc) Advance(d Time) {
 	}
 }
 
+// mpush appends a delivery to the mailbox ring.
+func (p *Proc) mpush(d Delivery) {
+	if p.mlen == len(p.mbox) {
+		p.mgrow()
+	}
+	p.mbox[(p.mhead+p.mlen)&(len(p.mbox)-1)] = d
+	p.mlen++
+}
+
+func (p *Proc) mgrow() {
+	newCap := len(p.mbox) * 2
+	if newCap == 0 {
+		newCap = 8
+	}
+	nb := make([]Delivery, newCap)
+	for i := 0; i < p.mlen; i++ {
+		nb[i] = p.mbox[(p.mhead+i)&(len(p.mbox)-1)]
+	}
+	p.mbox = nb
+	p.mhead = 0
+}
+
+// mpop removes and returns the earliest delivery. Caller guarantees mlen > 0.
+func (p *Proc) mpop() Delivery {
+	d := p.mbox[p.mhead]
+	p.mbox[p.mhead] = Delivery{} // drop payload references for GC
+	p.mhead = (p.mhead + 1) & (len(p.mbox) - 1)
+	p.mlen--
+	return d
+}
+
 // event kinds processed by the kernel loop.
 type eventKind int
 
@@ -142,41 +186,97 @@ type event struct {
 	proc *Proc
 	from *Proc
 	msg  any
+
+	// fresh marks an event posted during the current lookahead window of
+	// a parallel run: its seq is a provisional lane-local order key until
+	// the commit replay assigns the real global sequence number.
+	fresh bool
 }
 
+// eventPool is a free list of event nodes. Events are recycled once
+// processed, so steady-state send/recv traffic allocates nothing.
+type eventPool struct{ free []*event }
+
+func (ep *eventPool) get() *event {
+	if n := len(ep.free); n > 0 {
+		e := ep.free[n-1]
+		ep.free[n-1] = nil
+		ep.free = ep.free[:n-1]
+		return e
+	}
+	return &event{}
+}
+
+func (ep *eventPool) put(e *event) {
+	*e = event{}
+	ep.free = append(ep.free, e)
+}
+
+// eventHeap is a binary min-heap over (at, seq), hand-rolled to avoid the
+// container/heap interface boxing on the hot path.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+func (h *eventHeap) push(e *event) {
+	q := append(*h, e)
+	*h = q
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() *event {
+	q := *h
+	n := len(q) - 1
+	e := q[0]
+	q[0] = q[n]
+	q[n] = nil
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && q.less(r, l) {
+			c = r
+		}
+		if !q.less(c, i) {
+			break
+		}
+		q[i], q[c] = q[c], q[i]
+		i = c
+	}
 	return e
 }
-func (h eventHeap) peek() *event   { return h[0] }
-func (h *eventHeap) pop() *event   { return heap.Pop(h).(*event) }
-func (h *eventHeap) push(e *event) { heap.Push(h, e) }
+
+func (h eventHeap) peek() *event { return h[0] }
 
 // Kernel owns the event queue and all Procs of one simulation.
 type Kernel struct {
 	procs []*Proc
 	queue eventHeap
 	seq   uint64
-	park  chan struct{} // Procs signal here when yielding control
+	park  chan struct{} // Procs signal here when yielding control (serial engine)
+	pool  eventPool
 
 	started  bool
 	finished bool
-	panicked any
+	parallel bool
 
 	// MaxEvents, when positive, bounds the number of events Run will
 	// process — a guard against protocol livelock in tests.
@@ -191,7 +291,8 @@ type Kernel struct {
 // KernelStats is the kernel's own accounting: total events dispatched,
 // the split into message deliveries and Proc resumes (scheduling), and
 // the event queue's high-water mark. Deterministic for a deterministic
-// simulation, so exact values are assertable in tests.
+// simulation — and identical across the serial and parallel engines — so
+// exact values are assertable in tests.
 type KernelStats struct {
 	Events     int64 `json:"events"`
 	Deliveries int64 `json:"deliveries"`
@@ -217,10 +318,13 @@ func NewKernel() *Kernel {
 }
 
 // Spawn registers a new Proc that will begin executing fn at virtual time 0
-// when Run is called (or immediately, if the simulation is already
+// when Run is called (or immediately, if the serial simulation is already
 // running). Daemon Procs (see SetDaemon) do not prevent Run from
-// completing.
+// completing. Spawning after RunParallel has started is not supported.
 func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
+	if k.started && k.parallel {
+		panic("sim: Spawn during a parallel run")
+	}
 	p := &Proc{
 		k:      k,
 		id:     len(k.procs),
@@ -229,9 +333,14 @@ func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
 		resume: make(chan struct{}),
 		fn:     fn,
 	}
+	if k.started {
+		p.park = k.park
+	}
 	k.procs = append(k.procs, p)
 	go p.run()
-	k.post(&event{at: 0, kind: evResume, proc: p})
+	e := k.pool.get()
+	e.at, e.kind, e.proc = 0, evResume, p
+	k.post(e)
 	return p
 }
 
@@ -246,10 +355,10 @@ func (p *Proc) run() {
 	defer func() {
 		if r := recover(); r != nil {
 			p.err = fmt.Errorf("proc %q panicked: %v", p.name, r)
-			p.k.panicked = r
+			p.panicVal = r
 		}
 		p.state = stateDone
-		p.k.park <- struct{}{}
+		p.park <- struct{}{}
 	}()
 	p.fn(p)
 }
@@ -260,6 +369,18 @@ func (k *Kernel) post(e *event) {
 	k.queue.push(e)
 }
 
+// postFrom schedules an event on behalf of the running Proc p, routing it
+// through p's lane buffer under the parallel engine.
+func (p *Proc) postFrom(at Time, kind eventKind, dst, from *Proc, msg any) {
+	if l := p.lane; l != nil {
+		l.postLocal(at, kind, dst, from, msg)
+		return
+	}
+	e := p.k.pool.get()
+	e.at, e.kind, e.proc, e.from, e.msg = at, kind, dst, from, msg
+	p.k.post(e)
+}
+
 // activate hands control to p and blocks until p yields back.
 func (k *Kernel) activate(p *Proc) {
 	p.state = stateRunning
@@ -267,11 +388,28 @@ func (k *Kernel) activate(p *Proc) {
 	<-k.park
 }
 
-// yield returns control from a Proc goroutine to the kernel and blocks
-// until the kernel reactivates the Proc.
+// yield returns control from a Proc goroutine to its executor and blocks
+// until the executor reactivates the Proc.
 func (p *Proc) yield() {
-	p.k.park <- struct{}{}
+	p.park <- struct{}{}
 	<-p.resume
+}
+
+// OnCommit runs fn when the current event commits in global order. Under
+// the serial engine that is immediately; under the parallel engine fn is
+// buffered and invoked during the window's commit replay, after all
+// virtual-time-earlier events of other lanes have committed. Side effects
+// that escape the simulated node state (trace records, shared sinks) must
+// go through OnCommit so both engines emit them in the same order. fn runs
+// on the engine goroutine; it must not call back into the kernel, and it
+// must capture any simulated state it needs by value — the Proc may have
+// run further ahead inside the window by the time fn executes.
+func (p *Proc) OnCommit(fn func()) {
+	if l := p.lane; l != nil {
+		l.cur.effects = append(l.cur.effects, fn)
+		return
+	}
+	fn()
 }
 
 // Send schedules delivery of msg to dst at p.Now()+delay. The sender's own
@@ -284,7 +422,7 @@ func (p *Proc) Send(dst *Proc, msg any, delay Time) {
 	if dst == nil {
 		panic("sim: send to nil proc")
 	}
-	p.k.post(&event{at: p.now + delay, kind: evDeliver, proc: dst, from: p, msg: msg})
+	p.postFrom(p.now+delay, evDeliver, dst, p, msg)
 }
 
 // SendAt schedules delivery of msg to dst at absolute virtual time at
@@ -293,7 +431,7 @@ func (p *Proc) SendAt(dst *Proc, msg any, at Time) {
 	if at < p.now {
 		panic("sim: SendAt into the past")
 	}
-	p.k.post(&event{at: at, kind: evDeliver, proc: dst, from: p, msg: msg})
+	p.postFrom(at, evDeliver, dst, p, msg)
 }
 
 // Recv blocks until a message is available and returns the earliest one.
@@ -301,13 +439,11 @@ func (p *Proc) SendAt(dst *Proc, msg any, at Time) {
 // unchanged (the message waited); otherwise the clock advances to the
 // arrival time.
 func (p *Proc) Recv() Delivery {
-	for len(p.mailbox) == 0 {
+	for p.mlen == 0 {
 		p.state = stateBlockedRecv
 		p.yield()
 	}
-	d := p.mailbox[0]
-	copy(p.mailbox, p.mailbox[1:])
-	p.mailbox = p.mailbox[:len(p.mailbox)-1]
+	d := p.mpop()
 	if d.At > p.now {
 		p.now = d.At
 	}
@@ -316,12 +452,10 @@ func (p *Proc) Recv() Delivery {
 
 // TryRecv returns the earliest pending message, if any, without blocking.
 func (p *Proc) TryRecv() (Delivery, bool) {
-	if len(p.mailbox) == 0 {
+	if p.mlen == 0 {
 		return Delivery{}, false
 	}
-	d := p.mailbox[0]
-	copy(p.mailbox, p.mailbox[1:])
-	p.mailbox = p.mailbox[:len(p.mailbox)-1]
+	d := p.mpop()
 	if d.At > p.now {
 		p.now = d.At
 	}
@@ -329,7 +463,7 @@ func (p *Proc) TryRecv() (Delivery, bool) {
 }
 
 // Pending reports the number of messages waiting in the Proc's mailbox.
-func (p *Proc) Pending() int { return len(p.mailbox) }
+func (p *Proc) Pending() int { return p.mlen }
 
 // Sleep blocks the Proc until its clock reaches now+d, letting other
 // (earlier) events run meanwhile.
@@ -337,7 +471,7 @@ func (p *Proc) Sleep(d Time) {
 	if d <= 0 {
 		return
 	}
-	p.k.post(&event{at: p.now + d, kind: evResume, proc: p})
+	p.postFrom(p.now+d, evResume, p, nil, nil)
 	p.state = stateSleeping // deliveries queue but do not wake a sleeper
 	p.yield()
 }
@@ -372,6 +506,18 @@ func (p *Proc) Wait(b *Barrier) Time {
 		panic("sim: barrier from a different kernel")
 	}
 	arrive := p.now
+	if l := p.lane; l != nil {
+		// Parallel engine: barrier state is shared across lanes, so the
+		// arrival is only logged here; the commit replay applies it — and
+		// synthesizes the release events — in global order (see
+		// applyArrival in parallel.go).
+		st := l.cur
+		st.barrier = b
+		st.barrierAt = arrive
+		p.state = stateBlockedBarrier
+		p.yield()
+		return p.now - arrive
+	}
 	b.count++
 	if arrive > b.maxAt {
 		b.maxAt = arrive
@@ -385,9 +531,9 @@ func (p *Proc) Wait(b *Barrier) Time {
 	// Last arrival: release everyone (including self) at maxAt+cost.
 	release := b.maxAt + b.cost
 	for _, w := range b.waiters {
-		p.k.post(&event{at: release, kind: evResume, proc: w})
+		p.postFrom(release, evResume, w, nil, nil)
 	}
-	p.k.post(&event{at: release, kind: evResume, proc: p})
+	p.postFrom(release, evResume, p, nil, nil)
 	b.count = 0
 	b.maxAt = 0
 	b.waiters = b.waiters[:0]
@@ -421,15 +567,18 @@ func (e *DeadlockError) Error() string {
 	return "sim: deadlock; blocked procs: " + strings.Join(e.Blocked, ", ")
 }
 
-// Run executes the simulation until every non-daemon Proc has finished and
-// the event queue has drained. It returns a DeadlockError if non-daemon
-// Procs remain blocked with no events pending, or the panic value if a
-// Proc panicked.
+// Run executes the simulation serially until every non-daemon Proc has
+// finished and the event queue has drained. It returns a DeadlockError if
+// non-daemon Procs remain blocked with no events pending, or the panic
+// value if a Proc panicked.
 func (k *Kernel) Run() error {
 	if k.finished {
 		return fmt.Errorf("sim: kernel already ran")
 	}
-	heap.Init(&k.queue)
+	k.started = true
+	for _, p := range k.procs {
+		p.park = k.park
+	}
 	for len(k.queue) > 0 {
 		if k.MaxEvents > 0 && k.processed >= k.MaxEvents {
 			k.finished = true
@@ -441,31 +590,38 @@ func (k *Kernel) Run() error {
 		k.processed++
 		e := k.queue.pop()
 		p := e.proc
+		at, kind, from, msg := e.at, e.kind, e.from, e.msg
+		k.pool.put(e)
 		if p.state == stateDone {
 			continue
 		}
-		switch e.kind {
+		switch kind {
 		case evResume:
 			k.resumes++
 			if p.state == stateRunning {
 				panic("sim: resume of running proc")
 			}
-			if e.at > p.now {
-				p.now = e.at
+			if at > p.now {
+				p.now = at
 			}
 			k.activate(p)
 		case evDeliver:
 			k.deliveries++
-			p.mailbox = append(p.mailbox, Delivery{At: e.at, From: e.from, Msg: e.msg})
+			p.mpush(Delivery{At: at, From: from, Msg: msg})
 			if p.state == stateBlockedRecv {
 				k.activate(p)
 			}
 		}
-		if k.panicked != nil {
+		if p.panicVal != nil {
 			k.finished = true
-			panic(k.panicked)
+			panic(p.panicVal)
 		}
 	}
+	return k.conclude()
+}
+
+// conclude marks the simulation finished and scans for deadlocked Procs.
+func (k *Kernel) conclude() error {
 	k.finished = true
 	var blocked []string
 	for _, p := range k.procs {

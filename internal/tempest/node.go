@@ -119,9 +119,11 @@ type Node struct {
 	// Met is the node's metric instrument set (never nil).
 	Met *Metrics
 
-	// FlowSeq, when non-nil, is the machine-shared flow-ID counter that
-	// links traced Send events to their Recv events.
-	FlowSeq *int64
+	// flowSeq counts this node's traced sends. Flow IDs are node-tagged
+	// (node ID in the high bits) so they are unique machine-wide without
+	// any cross-node shared counter — a requirement for the parallel
+	// engine, where nodes trace concurrently.
+	flowSeq int64
 
 	// Phase attribution: curPhase points at the per-phase accumulator of
 	// the parallel phase the compute processor currently executes (nil
@@ -271,21 +273,19 @@ func (n *Node) Post(src *sim.Proc, dst *Node, m Msg) {
 	payload := m.PayloadBytes()
 	var send Msg = m
 	if n.Trace != nil {
-		var flow int64
-		if n.FlowSeq != nil {
-			*n.FlowSeq++
-			flow = *n.FlowSeq
-			send = tracedMsg{Msg: m, Flow: flow}
-		}
+		n.flowSeq++
+		flow := int64(n.ID)<<32 | n.flowSeq
+		send = tracedMsg{Msg: m, Flow: flow}
 		proc := trace.ProcProto
 		if src == n.Compute {
 			proc = trace.ProcCompute
 		}
-		n.Trace.Record(trace.Event{
+		ev := trace.Event{
 			At: src.Now(), Node: n.ID, Proc: proc, Kind: trace.Send,
 			Phase: n.phaseID, Iter: n.phaseIter, Flow: flow,
 			What: fmt.Sprintf("%s -> n%d", MsgString(m), dst.ID),
-		})
+		}
+		src.OnCommit(func() { n.Trace.Record(ev) })
 	}
 	if dst == n {
 		src.Advance(n.Net.LocalOverhead)
@@ -354,11 +354,12 @@ func (n *Node) fault(p *sim.Proc, a memory.Addr, write bool) {
 	p.Advance(n.Net.FaultDetect)
 	b := n.AS.BlockOf(a)
 	if n.Trace != nil {
-		n.Trace.Record(trace.Event{
+		ev := trace.Event{
 			At: p.Now(), Node: n.ID, Proc: trace.ProcCompute, Kind: trace.Fault,
 			Phase: n.phaseID, Iter: n.phaseIter,
 			What: fmt.Sprintf("block %#x write=%v", uint64(b), write),
-		})
+		}
+		p.OnCommit(func() { n.Trace.Record(ev) })
 	}
 	if n.presendFreshN > 0 && n.presendFresh[b] {
 		// A pre-sent copy was installed but invalidated or recalled
@@ -604,11 +605,12 @@ func (n *Node) ProtocolLoop(p *sim.Proc) {
 		if m, ok := d.Msg.(Msg); ok {
 			n.Met.Recv[KindOf(m)].Inc()
 			if n.Trace != nil {
-				n.Trace.Record(trace.Event{
+				ev := trace.Event{
 					At: p.Now(), Node: n.ID, Proc: trace.ProcProto, Kind: trace.Recv,
 					Phase: n.phaseID, Iter: n.phaseIter, Flow: flow,
 					What: MsgString(m),
-				})
+				}
+				p.OnCommit(func() { n.Trace.Record(ev) })
 			}
 		}
 		n.Proto.Handle(n, d)

@@ -152,6 +152,9 @@ type (
 	ExperimentResult = harness.Result
 	// Scale selects quick (CI) or paper workload sizes.
 	Scale = harness.Scale
+	// ExperimentOptions selects the workload scale and kernel engine for
+	// an experiment run.
+	ExperimentOptions = harness.Options
 )
 
 // Scales.
@@ -167,3 +170,8 @@ func Experiments() []Experiment { return harness.All() }
 
 // ExperimentByID looks up one artifact ("table1", "figure5", ...).
 func ExperimentByID(id string) (Experiment, bool) { return harness.ByID(id) }
+
+// RunExperiment executes one artifact with the given options.
+func RunExperiment(e Experiment, o ExperimentOptions) (*ExperimentResult, error) {
+	return harness.RunExperiment(e, o)
+}

@@ -112,7 +112,7 @@ func TestFacadeExperimentRegistry(t *testing.T) {
 	if !ok {
 		t.Fatal("figure4 missing")
 	}
-	res, err := e.Run(presto.QuickScale)
+	res, err := presto.RunExperiment(e, presto.ExperimentOptions{Scale: presto.QuickScale})
 	if err != nil {
 		t.Fatal(err)
 	}
