@@ -5,7 +5,7 @@
 // Usage:
 //
 //	dsmrun -app adaptive|barnes|water [-protocol stache|predictive|update]
-//	       [-nodes N] [-block B] [-spmd] [-splash] [-size N] [-iters N]
+//	       [-nodes N] [-block B] [-net cm5|now|hwdsm] [-spmd] [-splash] [-size N] [-iters N]
 //	       [-metrics out.json] [-trace-out t.json] [-trace-format chrome|jsonl]
 //	       [-engine serial|parallel] [-workers N] [-cpuprofile f] [-memprofile f]
 //
@@ -33,6 +33,7 @@ import (
 	"presto/internal/apps/adaptive"
 	"presto/internal/apps/barnes"
 	"presto/internal/apps/water"
+	"presto/internal/network"
 	"presto/internal/prof"
 	"presto/internal/rt"
 	"presto/internal/sim"
@@ -44,6 +45,7 @@ func main() {
 	protocol := flag.String("protocol", "stache", "coherence protocol")
 	nodes := flag.Int("nodes", 32, "simulated node count")
 	block := flag.Int("block", 32, "cache block size in bytes")
+	netName := flag.String("net", "cm5", "interconnect preset: cm5, now or hwdsm")
 	size := flag.Int("size", 0, "problem size (mesh edge / bodies / molecules); 0 = paper size")
 	iters := flag.Int("iters", 0, "iterations; 0 = paper count")
 	spmd := flag.Bool("spmd", false, "barnes: hand-optimized SPMD baseline (use -protocol update)")
@@ -60,9 +62,18 @@ func main() {
 	stopProf = prof.Start(*cpuprofile, *memprofile)
 	defer stopProf()
 
+	netParams, err := network.Preset(*netName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dsmrun: %v\n", err)
+		os.Exit(2)
+	}
+	if err := netParams.Validate(); err != nil {
+		fatal(err)
+	}
+
 	mc := rt.Config{
 		Nodes: *nodes, BlockSize: *block, Protocol: rt.ProtocolKind(*protocol),
-		Engine: rt.EngineKind(*engine), Workers: *workers,
+		Net: netParams, Engine: rt.EngineKind(*engine), Workers: *workers,
 	}
 
 	var traceFile *os.File
@@ -91,7 +102,6 @@ func main() {
 	var c rt.Counters
 	var m *rt.Machine
 	var extra string
-	var err error
 	switch *app {
 	case "adaptive":
 		var r *adaptive.Result

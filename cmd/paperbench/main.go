@@ -3,7 +3,8 @@
 // Usage:
 //
 //	paperbench [-experiment all|table1|figure4|figure5|figure6|figure7|sweep|ablate-*]
-//	           [-scale quick|paper] [-csv out.csv] [-json out.json]
+//	           [-list] [-scale quick|paper] [-net cm5|now|hwdsm]
+//	           [-csv out.csv] [-json out.json]
 //	           [-engine serial|parallel] [-workers N]
 //	           [-kernel-bench out.json] [-cpuprofile f] [-memprofile f]
 //
@@ -37,13 +38,16 @@ import (
 
 	"presto/internal/harness"
 	"presto/internal/kernelbench"
+	"presto/internal/network"
 	"presto/internal/prof"
 	"presto/internal/rt"
 )
 
 func main() {
 	expID := flag.String("experiment", "all", "experiment ID or 'all'")
+	list := flag.Bool("list", false, "list experiment IDs with descriptions and exit")
 	scaleStr := flag.String("scale", "quick", "workload scale: quick or paper")
+	netName := flag.String("net", "", "override the default interconnect preset (cm5, now or hwdsm); experiments with per-row presets keep them")
 	csvPath := flag.String("csv", "", "also write rows as CSV to this file")
 	jsonPath := flag.String("json", "BENCH_results.json", "write machine-readable results to this file (\"\" disables)")
 	engine := flag.String("engine", "serial", "kernel engine: serial or parallel")
@@ -54,6 +58,13 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
 	stopProf := prof.Start(*cpuprofile, *memprofile)
 	defer stopProf()
 
@@ -61,6 +72,18 @@ func main() {
 		Scale:   harness.ParseScale(*scaleStr),
 		Engine:  rt.EngineKind(*engine),
 		Workers: *workers,
+	}
+	if *netName != "" {
+		p, err := network.Preset(*netName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(2)
+		}
+		if err := p.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(2)
+		}
+		opts.Net = p
 	}
 
 	if *kernelBench != "" {

@@ -1,0 +1,136 @@
+// Command protofuzz drives the deterministic protocol chaos subsystem
+// (internal/chaos): consecutive seeds derive synthetic workloads that
+// run under every {stache, predictive} × {serial, parallel} combination
+// with seeded interconnect jitter, cross-checked by a differential
+// oracle. Failing seeds shrink to a minimal reproducer printed as a
+// one-line command.
+//
+// Fuzz a seed range (CI smoke):
+//
+//	protofuzz -seeds 500 -scale quick
+//
+// Reproduce a shrunk failure:
+//
+//	protofuzz -repro -seed 17 -max-nodes 4 -max-phases 3
+//
+// Verify the oracle catches an injected protocol defect:
+//
+//	protofuzz -seeds 100 -mutate stache-skip-deferral -expect-fail
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"presto/internal/chaos"
+)
+
+func main() {
+	var (
+		seeds      = flag.Int("seeds", 50, "number of consecutive seeds to run")
+		start      = flag.Int64("start", 1, "first seed")
+		scale      = flag.String("scale", "quick", "derivation envelope: quick|long")
+		seed       = flag.Int64("seed", -1, "run this single seed (overrides -seeds/-start)")
+		repro      = flag.Bool("repro", false, "single-seed reproduction mode: print the full differential result (requires -seed)")
+		maxNodes   = flag.Int("max-nodes", 0, "cap derived node count (0 = scale default)")
+		maxPhases  = flag.Int("max-phases", 0, "cap derived phase count")
+		maxIters   = flag.Int("max-iters", 0, "cap derived iteration count")
+		maxBlocks  = flag.Int("max-blocks", 0, "cap derived shared element pool")
+		mutate     = flag.String("mutate", "", "inject a named protocol defect (e.g. stache-skip-deferral)")
+		jitter     = flag.Int("jitter", 0, "interconnect jitter pct: 0 = derive per seed, >0 force, <0 off")
+		maxEvents  = flag.Int64("max-events", 0, "per-run simulation event budget (0 = default)")
+		maxFail    = flag.Int("max-failures", 1, "stop after this many failing seeds")
+		noShrink   = flag.Bool("no-shrink", false, "skip minimizing failing seeds")
+		expectFail = flag.Bool("expect-fail", false, "invert the exit status: succeed only if a failure was found (mutation testing)")
+		out        = flag.String("out", "", "directory to write failing-seed reproducer JSON files")
+		quiet      = flag.Bool("q", false, "suppress per-seed progress")
+	)
+	flag.Parse()
+
+	sc, err := chaos.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	o := chaos.Options{
+		Seeds:       *seeds,
+		Start:       *start,
+		Scale:       sc,
+		Caps:        chaos.Caps{Nodes: *maxNodes, Phases: *maxPhases, Iters: *maxIters, Blocks: *maxBlocks},
+		Mutation:    *mutate,
+		JitterPct:   *jitter,
+		MaxEvents:   *maxEvents,
+		MaxFailures: *maxFail,
+		NoShrink:    *noShrink,
+	}
+	if !*quiet {
+		o.Log = os.Stderr
+	}
+	if *seed >= 0 {
+		o.Seeds, o.Start = 1, *seed
+	}
+
+	if *repro {
+		if *seed < 0 {
+			fmt.Fprintln(os.Stderr, "protofuzz: -repro requires -seed")
+			os.Exit(2)
+		}
+		r := chaos.RunSeed(*seed, o)
+		fmt.Print(r.Render())
+		if r.Failed() {
+			exit(*expectFail, true)
+		}
+		exit(*expectFail, false)
+	}
+
+	rep := chaos.Fuzz(o)
+	if rep.Ok() {
+		fmt.Printf("protofuzz: %d seeds clean (scale=%s start=%d)\n", rep.SeedsRun, sc, o.Start)
+		exit(*expectFail, false)
+	}
+	for _, f := range rep.Failures {
+		fmt.Printf("protofuzz: seed %d FAILED (%d oracle violations), minimal nodes=%d phases=%d iters=%d blocks=%d\n",
+			f.Seed, len(f.Result.Failures), f.Min.Nodes, f.Min.Phases, f.Min.Iters, f.Min.Blocks)
+		for _, msg := range f.MinResult.Failures {
+			fmt.Printf("  %s\n", msg)
+		}
+		fmt.Printf("  repro: %s\n", f.Repro)
+		if *out != "" {
+			if err := writeReproducer(*out, f); err != nil {
+				fmt.Fprintf(os.Stderr, "protofuzz: writing reproducer: %v\n", err)
+			}
+		}
+	}
+	fmt.Printf("protofuzz: %d/%d seeds failed\n", len(rep.Failures), rep.SeedsRun)
+	exit(*expectFail, true)
+}
+
+// writeReproducer dumps one failure as JSON for CI artifact upload.
+func writeReproducer(dir string, f chaos.Failure) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("chaos-seed-%d.json", f.Seed))
+	fmt.Printf("  reproducer: %s\n", path)
+	return os.WriteFile(path, data, 0o644)
+}
+
+// exit maps (expectFail, failed) to the process status: normally
+// failures are fatal; under -expect-fail a clean campaign is the error.
+func exit(expectFail, failed bool) {
+	switch {
+	case expectFail && !failed:
+		fmt.Fprintln(os.Stderr, "protofuzz: expected a failure but every seed passed")
+		os.Exit(1)
+	case !expectFail && failed:
+		os.Exit(1)
+	}
+	os.Exit(0)
+}

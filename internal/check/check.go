@@ -161,6 +161,47 @@ func auditEntry(m *rt.Machine, home *tempest.Node, b memory.Block, e *tempest.Di
 	return out
 }
 
+// Accounting audits the machine's pre-send bookkeeping at quiescence and
+// returns human-readable violations. Two exact identities must hold for
+// the write-invalidate protocols:
+//
+//  1. per node: presends installed == hits + stale + raced +
+//     still-unconsumed (every installed pre-send is eventually consumed,
+//     invalidated, noted as racing a fault, or left fresh — none may
+//     vanish), and
+//  2. machine-wide: pre-sends sent from homes == pre-sends installed at
+//     consumers (remote grants only; the pre-send walk never sends to
+//     itself).
+//
+// The identities are trivially zero for non-predictive protocols, so the
+// audit is safe to run on any machine.
+func Accounting(m *rt.Machine) []string {
+	var out []string
+	var sent, installed int64
+	for _, n := range m.Nodes {
+		in := n.Met.PresendsIn.Value()
+		hits := n.Met.PresendHits.Value()
+		stale := n.Met.PresendsStale.Value()
+		raced := n.Met.PresendsRaced.Value()
+		fresh := int64(n.PresendFreshCount())
+		if in != hits+stale+raced+fresh {
+			out = append(out, fmt.Sprintf(
+				"node %d: presend accounting broken: in %d != hits %d + stale %d + raced %d + fresh %d",
+				n.ID, in, hits, stale, raced, fresh))
+		}
+		sent += n.Stats.PresendsSent
+		installed += in
+	}
+	// A full schedule flush (FlushSchedules(-1)) zeroes the installed-side
+	// counters but not the cumulative sent counter, so the machine-wide
+	// identity only binds when no flush happened; flushes make it a <=.
+	if installed > sent {
+		out = append(out, fmt.Sprintf(
+			"machine: %d presends installed exceed %d sent", installed, sent))
+	}
+	return out
+}
+
 // Report renders violations, or "ok" when empty.
 func Report(vs []Violation) string {
 	if len(vs) == 0 {

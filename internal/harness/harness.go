@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 
+	"presto/internal/network"
 	"presto/internal/rt"
 	"presto/internal/sim"
 )
@@ -44,6 +45,10 @@ type Options struct {
 	Engine rt.EngineKind
 	// Workers caps parallel-engine workers (default GOMAXPROCS).
 	Workers int
+	// Net, when non-nil, overrides the default interconnect for
+	// experiments that do not pick their own (the platform-comparison
+	// experiments keep their per-row presets).
+	Net *network.Params
 }
 
 func (o Options) withDefaults() Options {
@@ -57,6 +62,9 @@ func (o Options) withDefaults() Options {
 func (o Options) machine(c rt.Config) rt.Config {
 	c.Engine = o.Engine
 	c.Workers = o.Workers
+	if c.Net == nil && o.Net != nil {
+		c.Net = o.Net
+	}
 	return c
 }
 

@@ -3,7 +3,6 @@ package lang
 import (
 	"fmt"
 	"strings"
-	"unicode"
 )
 
 // LexError reports a tokenization failure.
@@ -41,7 +40,11 @@ func Lex(src string) ([]Token, error) {
 			for i < n && src[i] != '\n' {
 				adv(1)
 			}
-		case unicode.IsLetter(rune(c)) || c == '_':
+		// Identifier starts are ASCII-only: the lexer scans bytes, and
+		// promoting a lone UTF-8 continuation byte via rune(c) would
+		// classify it as a letter while isIdentChar rejects it — an
+		// empty token and no progress.
+		case isIdentStart(c):
 			j := i
 			for j < n && (isIdentChar(src[j])) {
 				j++
@@ -153,6 +156,10 @@ func Lex(src string) ([]Token, error) {
 	return toks, nil
 }
 
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
 func isIdentChar(c byte) bool {
-	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+	return isIdentStart(c) || c >= '0' && c <= '9'
 }

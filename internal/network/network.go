@@ -9,7 +9,11 @@
 // what dominated on that platform.
 package network
 
-import "presto/internal/sim"
+import (
+	"fmt"
+
+	"presto/internal/sim"
+)
 
 // Params describes one interconnect/software-messaging configuration.
 // All times are virtual (sim.Time).
@@ -39,13 +43,73 @@ type Params struct {
 	// BarrierLatency is the cost of one global barrier once all
 	// participants have arrived (e.g. a log-depth combining tree).
 	BarrierLatency sim.Time
+
+	// JitterPct, when positive, perturbs per-message costs (send/recv
+	// occupancy and transit delay) by up to ±JitterPct percent. The
+	// perturbation is a pure hash of (JitterSeed, virtual time, nodes,
+	// payload) — a function of simulated state only — so a jittered run
+	// remains byte-identical across kernel engines and repeated runs.
+	// Transit delays are clamped below at MinLatency(), preserving the
+	// parallel engine's conservative-lookahead invariant.
+	JitterPct int
+	// JitterSeed salts the jitter hash; distinct seeds explore distinct
+	// message orderings.
+	JitterSeed uint64
+}
+
+// Validate rejects configurations that would panic or hang downstream:
+// non-positive latencies/occupancies (the simulator requires every
+// message to advance virtual time), negative per-byte costs, and a
+// degenerate lookahead (MinLatency must be positive for the parallel
+// engine to make progress).
+func (p *Params) Validate() error {
+	pos := []struct {
+		name string
+		v    sim.Time
+	}{
+		{"SendOverhead", p.SendOverhead},
+		{"RecvOverhead", p.RecvOverhead},
+		{"WireLatency", p.WireLatency},
+		{"LocalDelay", p.LocalDelay},
+		{"LocalOverhead", p.LocalOverhead},
+		{"FaultDetect", p.FaultDetect},
+		{"BarrierLatency", p.BarrierLatency},
+	}
+	for _, f := range pos {
+		if f.v <= 0 {
+			return fmt.Errorf("network: %s = %v, must be positive", f.name, f.v)
+		}
+	}
+	if p.PerByteSend < 0 || p.PerByteWire < 0 {
+		return fmt.Errorf("network: per-byte costs must be non-negative (send %v, wire %v)",
+			p.PerByteSend, p.PerByteWire)
+	}
+	if p.HeaderBytes < 0 {
+		return fmt.Errorf("network: HeaderBytes = %d, must be non-negative", p.HeaderBytes)
+	}
+	if p.JitterPct < 0 || p.JitterPct >= 100 {
+		return fmt.Errorf("network: JitterPct = %d, must be in [0,100)", p.JitterPct)
+	}
+	if p.MinLatency() <= 0 {
+		return fmt.Errorf("network: MinLatency() = %v, must be positive", p.MinLatency())
+	}
+	return nil
+}
+
+// mustValid asserts a preset validates (a broken preset is a programming
+// error, caught at first use rather than as a downstream panic).
+func mustValid(p *Params) *Params {
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("network: invalid preset: %v", err))
+	}
+	return p
 }
 
 // CM5 returns parameters calibrated to Blizzard on the CM-5: a simple
 // two-hop read miss costs ~110us and a three-hop (recall) miss ~190us,
 // bracketing the paper's reported 200us average remote access latency.
 func CM5() *Params {
-	return &Params{
+	return mustValid(&Params{
 		SendOverhead:   20 * sim.Microsecond,
 		RecvOverhead:   25 * sim.Microsecond,
 		WireLatency:    6 * sim.Microsecond,
@@ -56,7 +120,7 @@ func CM5() *Params {
 		FaultDetect:    5 * sim.Microsecond,
 		HeaderBytes:    16,
 		BarrierLatency: 40 * sim.Microsecond,
-	}
+	})
 }
 
 // NOW returns parameters for a mid-90s network of workstations without
@@ -64,7 +128,7 @@ func CM5() *Params {
 // "beneficial on ... networks of workstations"): higher per-message
 // software costs and wire latency than the CM-5.
 func NOW() *Params {
-	return &Params{
+	return mustValid(&Params{
 		SendOverhead:   60 * sim.Microsecond,
 		RecvOverhead:   70 * sim.Microsecond,
 		WireLatency:    80 * sim.Microsecond,
@@ -75,7 +139,7 @@ func NOW() *Params {
 		FaultDetect:    8 * sim.Microsecond,
 		HeaderBytes:    32,
 		BarrierLatency: 400 * sim.Microsecond,
-	}
+	})
 }
 
 // HardwareDSM returns parameters for a hardware-assisted DSM (paper §5.4:
@@ -84,7 +148,7 @@ func NOW() *Params {
 // access latencies"): protocol handling in hardware, microsecond-scale
 // misses.
 func HardwareDSM() *Params {
-	return &Params{
+	return mustValid(&Params{
 		SendOverhead:   400 * sim.Nanosecond,
 		RecvOverhead:   500 * sim.Nanosecond,
 		WireLatency:    600 * sim.Nanosecond,
@@ -95,7 +159,21 @@ func HardwareDSM() *Params {
 		FaultDetect:    300 * sim.Nanosecond,
 		HeaderBytes:    16,
 		BarrierLatency: 5 * sim.Microsecond,
+	})
+}
+
+// Preset returns the named parameter preset — the shared vocabulary of
+// the -net command-line flags and the chaos derivation.
+func Preset(name string) (*Params, error) {
+	switch name {
+	case "cm5":
+		return CM5(), nil
+	case "now":
+		return NOW(), nil
+	case "hwdsm":
+		return HardwareDSM(), nil
 	}
+	return nil, fmt.Errorf("network: unknown preset %q (want cm5, now or hwdsm)", name)
 }
 
 // SendCost returns the sender CPU occupancy for a message with the given

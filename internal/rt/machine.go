@@ -85,7 +85,18 @@ type Config struct {
 	// Workers caps the worker goroutines of the parallel engine
 	// (default GOMAXPROCS). Ignored for EngineSerial.
 	Workers int
+	// ChaosMutation names a deliberate protocol defect to inject
+	// (mutation testing for internal/chaos — the differential oracle must
+	// catch every listed mutation). Empty in normal operation.
+	ChaosMutation string
 }
+
+// Chaos mutations accepted by Config.ChaosMutation.
+const (
+	// MutationStacheSkipDeferral disables Stache's cache-side deferral of
+	// invalidations/recalls that overtake the data grant they chase.
+	MutationStacheSkipDeferral = "stache-skip-deferral"
+)
 
 func (c *Config) withDefaults() Config {
 	out := *c
@@ -142,7 +153,11 @@ func New(cfg Config) *Machine {
 	}
 	switch c.Protocol {
 	case ProtoStache:
-		m.Proto = stache.New()
+		s := stache.New()
+		if c.ChaosMutation == MutationStacheSkipDeferral {
+			s.BreakOvertakingDeferral = true
+		}
+		m.Proto = s
 	case ProtoPredictive:
 		p := core.New()
 		p.Coalesce = !c.NoCoalesce
@@ -169,6 +184,12 @@ func (m *Machine) Run(prog Program) error {
 	}
 	m.ran = true
 	c := m.Cfg
+	if err := c.Net.Validate(); err != nil {
+		return fmt.Errorf("rt: bad interconnect parameters: %w", err)
+	}
+	if c.ChaosMutation != "" && c.ChaosMutation != MutationStacheSkipDeferral {
+		return fmt.Errorf("rt: unknown chaos mutation %q", c.ChaosMutation)
+	}
 	m.Kernel.MaxEvents = c.MaxEvents
 	var ring *trace.Ring
 	if c.Trace > 0 {
@@ -443,10 +464,11 @@ func (m *Machine) Report() MetricsReport {
 	}
 }
 
-// SnapshotF64 reads a shared value after the run completes, consulting the
-// directory to find the node holding the current copy (validation only —
-// not part of the simulated execution).
-func (m *Machine) SnapshotF64(a memory.Addr) float64 {
+// SnapshotBlock returns the authoritative contents of the block
+// containing a after the run completes: the home node's copy, or the
+// exclusive owner's when the directory records one (validation only — not
+// part of the simulated execution).
+func (m *Machine) SnapshotBlock(a memory.Addr) []byte {
 	b := m.AS.BlockOf(a)
 	home := m.Nodes[m.AS.HomeOf(a)]
 	src := home.Store
@@ -457,6 +479,36 @@ func (m *Machine) SnapshotF64(a memory.Addr) float64 {
 	if l == nil {
 		panic(fmt.Sprintf("rt: snapshot of absent block %#x", uint64(b)))
 	}
+	return l.Data
+}
+
+// SnapshotF64 reads a shared value after the run completes, consulting the
+// directory to find the node holding the current copy (validation only —
+// not part of the simulated execution).
+func (m *Machine) SnapshotF64(a memory.Addr) float64 {
+	data := m.SnapshotBlock(a)
 	off := a.Offset() & int64(m.Cfg.BlockSize-1)
-	return math.Float64frombits(binary.LittleEndian.Uint64(l.Data[off:]))
+	return math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+}
+
+// HashMemory folds the authoritative contents of every allocated region
+// into one 64-bit FNV-1a hash. For a deterministic program whose writes do
+// not depend on racy read values, the hash is protocol-independent — the
+// chaos subsystem's differential oracle compares it across coherence
+// protocols ("same program, same final memory").
+func (m *Machine) HashMemory() uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	bs := int64(m.Cfg.BlockSize)
+	for _, r := range m.AS.Regions() {
+		for idx := int64(0); idx < r.NumBlocks(); idx++ {
+			for _, c := range m.SnapshotBlock(r.Addr(idx * bs)) {
+				h = (h ^ uint64(c)) * fnvPrime
+			}
+		}
+	}
+	return h
 }

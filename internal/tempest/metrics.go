@@ -114,6 +114,12 @@ type Metrics struct {
 	PresendsIn    *metrics.Counter
 	PresendHits   *metrics.Counter
 	PresendsStale *metrics.Counter
+	// PresendsRaced counts pre-sent blocks that arrived while the compute
+	// processor was already fault-waiting on them (too late to avert the
+	// fault). At quiescence PresendsIn == PresendHits + PresendsStale +
+	// PresendsRaced + the node's still-fresh count, exactly
+	// (check.Accounting).
+	PresendsRaced *metrics.Counter
 
 	// Phases attributes faults, wait time and pre-send consumption to
 	// compiler-identified parallel phases (per node).
@@ -129,6 +135,7 @@ func NewMetrics(reg *metrics.Registry, node int) *Metrics {
 		PresendsIn:    reg.Counter(p + "presends_in"),
 		PresendHits:   reg.Counter(p + "presend_hits"),
 		PresendsStale: reg.Counter(p + "presends_stale"),
+		PresendsRaced: reg.Counter(p + "presends_raced"),
 	}
 	for k := MsgKind(0); k < NumMsgKinds; k++ {
 		m.Sent[k] = reg.Counter(p + "sent/" + k.String())

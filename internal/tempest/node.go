@@ -206,6 +206,7 @@ func (n *Node) NotePresendArrival(b memory.Block) {
 		n.curPhase.PresendsIn++
 	}
 	if wb, waiting := n.FaultWaitBlock(); waiting && wb == b {
+		n.Met.PresendsRaced.Inc()
 		return // raced with a fault: the fault was not averted
 	}
 	if n.presendFresh == nil {
@@ -214,6 +215,11 @@ func (n *Node) NotePresendArrival(b memory.Block) {
 	if !n.presendFresh[b] {
 		n.presendFresh[b] = true
 		n.presendFreshN++
+	} else {
+		// A re-pre-send superseding a still-fresh copy: the earlier
+		// install was never consumed, so score it stale — every install
+		// must land in exactly one bucket (check.Accounting).
+		n.Met.PresendsStale.Inc()
 	}
 }
 
@@ -233,6 +239,12 @@ func (n *Node) notePresendUse(a memory.Addr) {
 	}
 }
 
+// PresendFreshCount reports the pre-sent blocks installed at this node
+// that no compute access has consumed yet. At quiescence the exact
+// accounting identity PresendsIn == PresendHits + PresendsStale +
+// PresendFreshCount must hold (checked by internal/check).
+func (n *Node) PresendFreshCount() int { return n.presendFreshN }
+
 // ResetPresendCounters zeroes the node's schedule-hit bookkeeping for
 // phase id (all phases when id < 0), including pending unconsumed
 // pre-sends. Used when schedules are flushed so hit rates are measured
@@ -245,8 +257,14 @@ func (n *Node) ResetPresendCounters(id int) {
 		n.Met.PresendsIn.Set(0)
 		n.Met.PresendHits.Set(0)
 		n.Met.PresendsStale.Set(0)
+		n.Met.PresendsRaced.Set(0)
 	} else if ps := n.Met.Phases.Lookup(id); ps != nil {
 		ps.ResetHits()
+		// The fresh set is not phase-tagged, so a per-phase flush drops
+		// every unconsumed pre-send. Account them as stale (wasted) so the
+		// node-global exact identity PresendsIn == PresendHits +
+		// PresendsStale + PresendFreshCount survives the flush.
+		n.Met.PresendsStale.Add(int64(n.presendFreshN))
 	}
 	n.presendFresh = nil
 	n.presendFreshN = 0
@@ -293,8 +311,11 @@ func (n *Node) Post(src *sim.Proc, dst *Node, m Msg) {
 		return
 	}
 	n.Met.MsgPayload.Observe(int64(payload))
-	src.Advance(n.Net.SendCost(payload))
-	src.Send(dst.ProtoProc, send, n.Net.TransitDelay(payload))
+	// The *At cost variants apply seeded per-message jitter when the
+	// Params enable it (chaos testing); with jitter off they are exactly
+	// SendCost/TransitDelay.
+	src.Advance(n.Net.SendCostAt(payload, src.Now(), n.ID, dst.ID))
+	src.Send(dst.ProtoProc, send, n.Net.TransitDelayAt(payload, src.Now(), n.ID, dst.ID))
 	n.Stats.MsgsSent++
 	n.Stats.BytesSent += int64(payload + n.Net.HeaderBytes)
 }
@@ -596,7 +617,7 @@ func (n *Node) PopSignal() (sim.Delivery, bool) {
 func (n *Node) ProtocolLoop(p *sim.Proc) {
 	for {
 		d := p.Recv()
-		p.Advance(n.Net.RecvOverhead)
+		p.Advance(n.Net.RecvOverheadAt(p.Now(), n.ID))
 		var flow int64
 		if tm, ok := d.Msg.(tracedMsg); ok {
 			d.Msg = tm.Msg
