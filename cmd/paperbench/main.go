@@ -182,6 +182,9 @@ type microResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	N           int     `json:"n"`
+	// Guarded marks a zero-allocation hot path: the bench-regression
+	// gate fails the run when a guarded case reports allocs_per_op > 0.
+	Guarded bool `json:"guarded,omitempty"`
 }
 
 type figure5Result struct {
@@ -209,6 +212,7 @@ func runKernelBench(path, baselinePath string, opts harness.Options) error {
 		doc.Baseline = base
 	}
 
+	var allocRegressions []string
 	for _, c := range kernelbench.Cases() {
 		r := testing.Benchmark(c.Bench)
 		doc.Micro = append(doc.Micro, microResult{
@@ -217,9 +221,18 @@ func runKernelBench(path, baselinePath string, opts harness.Options) error {
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			N:           r.N,
+			Guarded:     c.ZeroAlloc,
 		})
-		fmt.Printf("%-20s %12.1f ns/op %8d B/op %6d allocs/op\n",
-			c.Name, doc.Micro[len(doc.Micro)-1].NsPerOp, r.AllocedBytesPerOp(), r.AllocsPerOp())
+		guard := ""
+		if c.ZeroAlloc {
+			guard = " [guarded]"
+			if r.AllocsPerOp() > 0 {
+				allocRegressions = append(allocRegressions,
+					fmt.Sprintf("%s: %d allocs/op (want 0)", c.Name, r.AllocsPerOp()))
+			}
+		}
+		fmt.Printf("%-28s %12.1f ns/op %8d B/op %6d allocs/op%s\n",
+			c.Name, doc.Micro[len(doc.Micro)-1].NsPerOp, r.AllocedBytesPerOp(), r.AllocsPerOp(), guard)
 	}
 
 	fig5, ok := harness.ByID("figure5")
@@ -271,6 +284,12 @@ func runKernelBench(path, baselinePath string, opts harness.Options) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)
+	// The document is written either way (so a failed run is inspectable);
+	// the allocation gate fails the process afterwards.
+	if len(allocRegressions) > 0 {
+		return fmt.Errorf("allocation regression on guarded hot paths:\n  %s",
+			strings.Join(allocRegressions, "\n  "))
+	}
 	return nil
 }
 

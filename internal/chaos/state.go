@@ -1,0 +1,72 @@
+package chaos
+
+import (
+	"presto/internal/core"
+	"presto/internal/memory"
+	"presto/internal/rt"
+	"presto/internal/schedule"
+	"presto/internal/stache"
+	"presto/internal/tempest"
+)
+
+// stateHash folds the machine's quiescent protocol state — every node's
+// directory entries, cache-side deferral flags and (for the predictive
+// protocol) schedule tables — into one 64-bit FNV-1a hash. All iteration
+// is in deterministic ascending order, so two runs of the same program
+// hash equal exactly when their protocol state is identical. This is the
+// signal the dense-vs-map storage differential relies on: the two
+// backends must converge to the same state, not merely the same memory.
+func stateHash(m *rt.Machine) uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xff)) * fnvPrime
+			v >>= 8
+		}
+	}
+	for _, n := range m.Nodes {
+		mix(uint64(n.ID))
+		// Home directory: entry states, sharer sets, owners and queued
+		// requests, in ascending block order.
+		n.Dir.ForEach(func(b memory.Block, e *tempest.DirEntry) {
+			mix(uint64(b))
+			mix(uint64(e.State))
+			mix(uint64(e.Sharers))
+			mix(uint64(int64(e.Owner)))
+			mix(uint64(e.PendingLen()))
+			e.ForEachPending(func(pr tempest.PendReq) {
+				v := uint64(pr.Req) << 2
+				if pr.Write {
+					v |= 1
+				}
+				if pr.Presend {
+					v |= 2
+				}
+				mix(v)
+			})
+		})
+		// Cache-side deferral flags (Stache state underlies all three
+		// protocols chaos runs).
+		stache.StateOf(n).ForEachDeferred(func(b memory.Block, flags uint8) {
+			mix(uint64(b))
+			mix(uint64(flags))
+		})
+		// Predictive communication schedules, by phase then block.
+		if p, ok := m.Proto.(*core.Predictive); ok {
+			p.ScheduleTable(n).ForEach(func(ph *schedule.Phase) {
+				mix(uint64(ph.ID))
+				for _, e := range ph.Entries() {
+					mix(uint64(e.Block))
+					mix(uint64(e.Mode))
+					mix(uint64(e.Readers))
+					mix(uint64(int64(e.Writer)))
+				}
+			})
+		}
+	}
+	return h
+}

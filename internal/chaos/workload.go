@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"presto/internal/blockstate"
 	"presto/internal/check"
 	"presto/internal/memory"
 	"presto/internal/network"
@@ -20,6 +21,7 @@ type Fingerprint struct {
 	Kernel     sim.KernelStats `json:"kernel"`
 	Counters   rt.Counters     `json:"counters"`
 	MemHash    uint64          `json:"mem_hash"`
+	StateHash  uint64          `json:"state_hash"`
 	Violations []string        `json:"violations,omitempty"`
 }
 
@@ -61,6 +63,9 @@ func (f Fingerprint) diff(g Fingerprint) []string {
 	if f.MemHash != g.MemHash {
 		add("mem_hash", fmt.Sprintf("%016x", f.MemHash), fmt.Sprintf("%016x", g.MemHash))
 	}
+	if f.StateHash != g.StateHash {
+		add("state_hash", fmt.Sprintf("%016x", f.StateHash), fmt.Sprintf("%016x", g.StateHash))
+	}
 	if len(f.Violations) != len(g.Violations) {
 		add("violations", len(f.Violations), len(g.Violations))
 	} else {
@@ -79,6 +84,12 @@ func (f Fingerprint) diff(g Fingerprint) []string {
 // (rt.Mutation*; empty for honest runs); maxEvents guards against
 // livelock (a mutated protocol may spin).
 func Execute(s Spec, proto rt.ProtocolKind, engine rt.EngineKind, mutation string, maxEvents int64) Fingerprint {
+	return ExecuteStorage(s, proto, engine, mutation, maxEvents, "")
+}
+
+// ExecuteStorage is Execute with an explicit block-state storage backend
+// (the dense-vs-map differential; empty means the dense default).
+func ExecuteStorage(s Spec, proto rt.ProtocolKind, engine rt.EngineKind, mutation string, maxEvents int64, storage blockstate.Kind) Fingerprint {
 	base, err := network.Preset(s.Net)
 	if err != nil {
 		panic(err) // derivation only emits known presets
@@ -92,6 +103,7 @@ func Execute(s Spec, proto rt.ProtocolKind, engine rt.EngineKind, mutation strin
 		Net:           net,
 		MaxEvents:     maxEvents,
 		ChaosMutation: mutation,
+		Storage:       storage,
 	})
 	wl := buildWorkload(m, s)
 	var fp Fingerprint
@@ -103,12 +115,13 @@ func Execute(s Spec, proto rt.ProtocolKind, engine rt.EngineKind, mutation strin
 	fp.Kernel = m.Kernel.Stats()
 	fp.Counters = m.Counters()
 	fp.MemHash = m.HashMemory()
+	fp.StateHash = stateHash(m)
 	for _, v := range check.Machine(m) {
 		fp.Violations = append(fp.Violations, v.String())
 	}
 	fp.Violations = append(fp.Violations, check.Accounting(m)...)
-	// Directory iteration is map-ordered; sort so fingerprints of
-	// identical runs compare equal.
+	// Violations accumulate home-by-home; sort into one canonical order so
+	// fingerprints of identical runs compare equal.
 	sort.Strings(fp.Violations)
 	return fp
 }

@@ -94,8 +94,8 @@ func auditEntry(m *rt.Machine, home *tempest.Node, b memory.Block, e *tempest.Di
 		add("transient state %v at quiescence", e.State)
 		return out
 	}
-	if len(e.Pending) > 0 {
-		add("%d pending requests at quiescence", len(e.Pending))
+	if e.PendingLen() > 0 {
+		add("%d pending requests at quiescence", e.PendingLen())
 	}
 
 	tagOf := func(n *tempest.Node) memory.Tag {

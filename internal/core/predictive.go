@@ -25,6 +25,7 @@ package core
 import (
 	"fmt"
 
+	"presto/internal/blockstate"
 	"presto/internal/memory"
 	"presto/internal/schedule"
 	"presto/internal/sim"
@@ -50,6 +51,10 @@ type Predictive struct {
 	// rebuilt often by flushing the old schedule and building a new
 	// one", §3.3), automated as a protocol policy.
 	FlushEvery int
+
+	// Storage selects the block-state backend for schedules and the
+	// inherited Stache state (dense by default). Set before Init.
+	Storage blockstate.Kind
 }
 
 // New returns a predictive protocol with the paper's configuration
@@ -67,6 +72,14 @@ type nodeState struct {
 	table     *schedule.Table // schedules for blocks this node homes
 	recording bool
 	phase     int
+	// curSched caches table.Phase(phase) while recording, so the
+	// per-fault record hooks skip the phase-map lookup.
+	curSched *schedule.Phase
+
+	// bulks holds the per-destination coalescing state of the pre-send
+	// walk (reused across walks; entry buffers come from the tempest
+	// bulk pool and are handed off with each MsgBulk).
+	bulks []pendingBulk
 
 	// Pre-send walk bookkeeping (protocol processor).
 	presendActive      bool
@@ -97,9 +110,10 @@ func (p *Predictive) Name() string { return "predictive" }
 
 // Init implements tempest.Protocol.
 func (p *Predictive) Init(n *tempest.Node) {
+	p.base.Storage = p.Storage
 	n.ProtoState = &nodeState{
-		cache:    stache.NewNodeState(),
-		table:    schedule.NewTable(),
+		cache:    stache.NewNodeState(n.AS, p.Storage),
+		table:    schedule.NewTable(n.AS, p.Storage),
 		phase:    -1,
 		seen:     make(map[int]int),
 		presends: make(map[int]int),
@@ -126,7 +140,7 @@ func (p *Predictive) RecordRead(n *tempest.Node, b memory.Block, req int) {
 	if !ns.recording {
 		return
 	}
-	if ns.table.Phase(ns.phase).RecordRead(b, req) {
+	if ns.curSched.RecordRead(b, req) {
 		n.Stats.Conflicts++
 	}
 }
@@ -137,7 +151,7 @@ func (p *Predictive) RecordWrite(n *tempest.Node, b memory.Block, req int) {
 	if !ns.recording {
 		return
 	}
-	if ns.table.Phase(ns.phase).RecordWrite(b, req) {
+	if ns.curSched.RecordWrite(b, req) {
 		n.Stats.Conflicts++
 	}
 }
@@ -167,6 +181,7 @@ func (p *Predictive) BeginPhase(n *tempest.Node, phase int) sim.Time {
 	ns.recording = true
 	ns.phase = phase
 	if first {
+		ns.curSched = ns.table.Phase(phase)
 		return 0
 	}
 	ns.presends[phase]++
@@ -175,6 +190,8 @@ func (p *Predictive) BeginPhase(n *tempest.Node, phase int) sim.Time {
 		// and relearn it from this execution's faults.
 		ns.table.Flush(phase)
 	}
+	// Cache after the possible flush so records extend the live schedule.
+	ns.curSched = ns.table.Phase(phase)
 	start := n.Compute.Now()
 	n.Post(n.Compute, n, tempest.MsgPresendGo{Phase: phase})
 	n.RecvCompute(n.Compute, func(m any) bool {
@@ -197,6 +214,7 @@ func (p *Predictive) EndPhase(n *tempest.Node, phase int) {
 	ns := pstate(n)
 	ns.recording = false
 	ns.phase = -1
+	ns.curSched = nil
 }
 
 // FlushSchedules drops this node's schedules (all phases, or one phase if
@@ -205,9 +223,14 @@ func (p *Predictive) FlushSchedules(n *tempest.Node, id int) {
 	ns := pstate(n)
 	if id < 0 {
 		ns.table.FlushAll()
-		return
+	} else {
+		ns.table.Flush(id)
 	}
-	ns.table.Flush(id)
+	if ns.recording && (id < 0 || id == ns.phase) {
+		// The cached schedule was just dropped; records must extend the
+		// replacement.
+		ns.curSched = ns.table.Phase(ns.phase)
+	}
 }
 
 // DebugPresend reports the node's pre-send bookkeeping (diagnostics).
@@ -237,16 +260,20 @@ func (p *Predictive) runPresend(n *tempest.Node, phase int) {
 	ns.presendPhase = phase
 	ns.presendOutstanding = 1 // walk sentinel
 
-	bulks := make(map[int]*pendingBulk)
+	if ns.bulks == nil {
+		ns.bulks = make([]pendingBulk, len(n.Peers))
+	}
 	flush := func(dst int) {
-		pb := bulks[dst]
-		if pb == nil || len(pb.entries) == 0 {
+		pb := &ns.bulks[dst]
+		if len(pb.entries) == 0 {
 			return
 		}
+		// The message takes ownership of the pooled buffer; the receiver
+		// returns it after installing the entries.
 		msg := tempest.MsgBulk{Entries: pb.entries, Presend: true}
+		pb.entries = nil
 		n.Post(n.ProtoProc, n.Peers[dst], msg)
 		n.Stats.BulkMsgs++
-		pb.entries = nil
 	}
 
 	// enqueue adds one immediately-grantable read copy for dst,
@@ -257,13 +284,12 @@ func (p *Predictive) runPresend(n *tempest.Node, phase int) {
 			n.Stats.PresendsSent++
 			return
 		}
-		pb := bulks[dst]
-		if pb == nil {
-			pb = &pendingBulk{}
-			bulks[dst] = pb
-		}
+		pb := &ns.bulks[dst]
 		if len(pb.entries) > 0 && !n.AS.Contiguous(pb.lastBlock, b) {
 			flush(dst)
+		}
+		if pb.entries == nil {
+			pb.entries = tempest.GetBulkEntries()
 		}
 		pb.entries = append(pb.entries, tempest.BulkEntry{Block: b, Data: data})
 		pb.lastBlock = b

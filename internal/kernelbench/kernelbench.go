@@ -19,19 +19,25 @@ import (
 type Case struct {
 	Name  string
 	Bench func(b *testing.B)
+	// ZeroAlloc marks a guarded hot path: the bench-regression gate
+	// (paperbench -kernel-bench) fails the run if the case reports any
+	// allocation per operation.
+	ZeroAlloc bool
 }
 
-// Cases returns the kernel hot-path workloads in stable order.
+// Cases returns the kernel and protocol hot-path workloads in stable
+// order: the simulation-kernel paths first, then the block-state
+// protocol paths (protocol.go).
 func Cases() []Case {
-	return []Case{
-		{"send_recv", benchSendRecv},
-		{"send_recv_burst64", benchBurst},
-		{"barrier8", benchBarrier},
-		{"sleep_advance", benchSleep},
-		{"fanout8", benchFanout},
-		{"mesh8_serial", benchMesh(false)},
-		{"mesh8_parallel4", benchMesh(true)},
-	}
+	return append([]Case{
+		{"send_recv", benchSendRecv, true},
+		{"send_recv_burst64", benchBurst, true},
+		{"barrier8", benchBarrier, true},
+		{"sleep_advance", benchSleep, true},
+		{"fanout8", benchFanout, false},
+		{"mesh8_serial", benchMesh(false), false},
+		{"mesh8_parallel4", benchMesh(true), false},
+	}, protocolCases()...)
 }
 
 // benchSendRecv is the canonical send/recv path: two Procs ping-pong one

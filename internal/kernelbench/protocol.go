@@ -1,0 +1,188 @@
+// Protocol-path benchmarks: the block-state hot paths the dense paged
+// storage layer (internal/blockstate) optimizes. Each dense case is
+// paired with its map-reference twin so BENCH_kernel.json records the
+// speedup the PR claims (directory churn, pre-send walk, deferral scan).
+package kernelbench
+
+import (
+	"sort"
+	"testing"
+
+	"presto/internal/blockstate"
+	"presto/internal/memory"
+	"presto/internal/schedule"
+	"presto/internal/tempest"
+)
+
+// protocolCases returns the block-state workloads in stable order.
+func protocolCases() []Case {
+	return []Case{
+		{"dir_churn_dense", benchDirChurn(blockstate.Dense), true},
+		{"dir_churn_mapref", benchDirChurn(blockstate.MapRef), false},
+		{"presend_walk_repeat", benchPresendWalkRepeat, true},
+		{"presend_walk_sortmap", benchPresendWalkSortMap, false},
+		{"sched_build512_dense", benchSchedBuild(blockstate.Dense), false},
+		{"sched_build512_mapref", benchSchedBuild(blockstate.MapRef), false},
+		{"stache_deferral_scan_dense", benchDeferralScan(blockstate.Dense), true},
+		{"stache_deferral_scan_mapref", benchDeferralScan(blockstate.MapRef), false},
+	}
+}
+
+const (
+	benchNodes  = 8
+	benchBlocks = 512
+)
+
+func benchAS() (*memory.AddressSpace, *memory.Region) {
+	as := memory.NewAddressSpace(benchNodes, 32)
+	r := as.NewRegion("bench", benchBlocks*32, func(i int64) int { return int(i % benchNodes) })
+	return as, r
+}
+
+// benchDirChurn is the home-directory steady state a protocol handler
+// sees per message: resolve the entry for the request's block, resolve a
+// second entry (the grant/ack side touches its own block), flip a
+// sharer, and (every 16th op) queue and drain one pending request — the
+// transient path whose buffers come from the directory slab. One op is
+// one such handler-shaped sequence; the entry lookups are the cost the
+// paged table attacks.
+func benchDirChurn(kind blockstate.Kind) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		as, r := benchAS()
+		var dir *tempest.Directory
+		if kind == blockstate.MapRef {
+			dir = tempest.NewDirectoryRef(as)
+		} else {
+			dir = tempest.NewDirectory(as)
+		}
+		for i := int64(0); i < benchBlocks; i++ {
+			e := dir.Entry(r.BlockAt(i))
+			e.Sharers.Add(int(i) % benchNodes)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			node := i % benchNodes
+			e := dir.Entry(r.BlockAt(int64(i % benchBlocks)))
+			e.Owner = node
+			e2 := dir.Entry(r.BlockAt(int64((i * 7) % benchBlocks)))
+			if e2.Sharers.Has(node) {
+				e2.Sharers.Remove(node)
+			} else {
+				e2.Sharers.Add(node)
+			}
+			if i%16 == 0 {
+				dir.PushPending(e, tempest.PendReq{Req: node})
+				dir.PopPending(e)
+			}
+		}
+	}
+}
+
+// benchPresendWalkRepeat is the steady-state pre-send walk over a stable
+// 512-entry schedule: iterate the cached block-ordered entry slice. One
+// op is one full walk. This path must never allocate.
+func benchPresendWalkRepeat(b *testing.B) {
+	b.ReportAllocs()
+	as, r := benchAS()
+	p := schedule.NewPhase(as, 1, blockstate.Dense)
+	for i := int64(0); i < benchBlocks; i++ {
+		p.RecordRead(r.BlockAt(i), int(i)%benchNodes)
+	}
+	p.Entries()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		live := 0
+		for _, e := range p.Entries() {
+			if e.Mode != schedule.ModeConflict {
+				live++
+			}
+		}
+		if live != benchBlocks {
+			b.Fatal(live)
+		}
+	}
+}
+
+// benchPresendWalkSortMap is the walk this PR replaced: schedule entries
+// in a map, with every walk collecting the keys and sorting them into
+// block order. Kept as the reference cost for BENCH_kernel.json.
+func benchPresendWalkSortMap(b *testing.B) {
+	b.ReportAllocs()
+	_, r := benchAS()
+	m := make(map[memory.Block]*schedule.Entry, benchBlocks)
+	for i := int64(0); i < benchBlocks; i++ {
+		blk := r.BlockAt(i)
+		m[blk] = &schedule.Entry{Block: blk, Mode: schedule.ModeRead}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		keys := make([]memory.Block, 0, len(m))
+		for blk := range m {
+			keys = append(keys, blk)
+		}
+		sort.Slice(keys, func(a, c int) bool { return keys[a] < keys[c] })
+		live := 0
+		for _, blk := range keys {
+			if m[blk].Mode != schedule.ModeConflict {
+				live++
+			}
+		}
+		if live != benchBlocks {
+			b.Fatal(live)
+		}
+	}
+}
+
+// benchSchedBuild measures building one 512-block phase schedule from
+// scratch — the first-iteration fault storm — plus one Entries() walk.
+// One op is one full build.
+func benchSchedBuild(kind blockstate.Kind) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		as, r := benchAS()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := schedule.NewPhase(as, 1, kind)
+			for j := int64(0); j < benchBlocks; j++ {
+				if j%3 == 0 {
+					p.RecordWrite(r.BlockAt(j), int(j)%benchNodes)
+				} else {
+					p.RecordRead(r.BlockAt(j), int(j)%benchNodes)
+				}
+			}
+			if len(p.Entries()) != benchBlocks {
+				b.Fatal("short schedule")
+			}
+		}
+	}
+}
+
+// benchDeferralScan is the Stache deferral shape: a sparse set of blocks
+// (32 of 512) carries a packed flags byte; each op scans the active set
+// in block order and churns one record (set + clear on an existing
+// page). One op is one scan.
+func benchDeferralScan(kind blockstate.Kind) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		as, r := benchAS()
+		st := blockstate.New[uint8](as, kind)
+		for i := int64(0); i < benchBlocks; i += 16 {
+			v, _ := st.Ensure(r.BlockAt(i))
+			*v = uint8(1 + i%3)
+		}
+		sum := 0
+		visit := func(_ memory.Block, v *uint8) { sum += int(*v) }
+		churn := r.BlockAt(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st.ForEach(visit)
+			v, _ := st.Ensure(churn)
+			*v = uint8(i)
+			st.Remove(churn)
+		}
+		if sum == 0 {
+			b.Fatal("empty scan")
+		}
+	}
+}

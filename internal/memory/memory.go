@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Tag is a cache block's access-control state.
@@ -90,15 +91,22 @@ func (r *Region) NumBlocks() int64 {
 	return (r.Size + bs - 1) / bs
 }
 
+// BlockAt returns the block with the given region-local index (the
+// inverse of AddressSpace.BlockIndex).
+func (r *Region) BlockAt(idx int64) Block {
+	return r.Base().Add(idx << r.as.blockShift)
+}
+
 // HomeOf returns the home node of the region-local block index.
 func (r *Region) HomeOf(blockIdx int64) int { return r.home(blockIdx) }
 
 // AddressSpace is the machine-wide set of regions and the block geometry.
 type AddressSpace struct {
-	blockSize int // power of two
-	blockMask Addr
-	nodes     int
-	regions   []*Region
+	blockSize  int // power of two
+	blockShift uint
+	blockMask  Addr
+	nodes      int
+	regions    []*Region
 }
 
 // NewAddressSpace creates an address space for the given node count and
@@ -111,9 +119,10 @@ func NewAddressSpace(nodes, blockSize int) *AddressSpace {
 		panic(fmt.Sprintf("memory: node count %d out of range [1,64]", nodes))
 	}
 	return &AddressSpace{
-		blockSize: blockSize,
-		blockMask: ^Addr(blockSize - 1),
-		nodes:     nodes,
+		blockSize:  blockSize,
+		blockShift: uint(bits.TrailingZeros(uint(blockSize))),
+		blockMask:  ^Addr(blockSize - 1),
+		nodes:      nodes,
 	}
 }
 
@@ -155,8 +164,10 @@ func (as *AddressSpace) Region(a Addr) *Region {
 // BlockOf returns the block containing the address.
 func (as *AddressSpace) BlockOf(a Addr) Block { return a & as.blockMask }
 
-// BlockIndex returns the region-local block index of a block.
-func (as *AddressSpace) BlockIndex(b Block) int64 { return b.Offset() / int64(as.blockSize) }
+// BlockIndex returns the region-local block index of a block. Block size
+// is a power of two, so this is a shift — cheap enough for the dense
+// block-state tables (internal/blockstate) to use it on every access.
+func (as *AddressSpace) BlockIndex(b Block) int64 { return b.Offset() >> as.blockShift }
 
 // HomeOf returns the home node of the block containing the address.
 func (as *AddressSpace) HomeOf(a Addr) int {

@@ -208,6 +208,100 @@ func TestF64RoundTripProperty(t *testing.T) {
 	}
 }
 
+// TestBlockIndexRegionBoundaries pins block decomposition at the edges of
+// a region: the first block, the last full block, and the partial tail
+// block of a non-power-of-2 region size.
+func TestBlockIndexRegionBoundaries(t *testing.T) {
+	as := NewAddressSpace(2, 32)
+	r := as.NewRegion("odd", 1000, evenOdd) // 31 full blocks + 8-byte tail
+	if r.NumBlocks() != 32 {
+		t.Fatalf("NumBlocks = %d, want 32 (1000/32 rounded up)", r.NumBlocks())
+	}
+	first := as.BlockOf(r.Addr(0))
+	if as.BlockIndex(first) != 0 {
+		t.Fatalf("first block index = %d", as.BlockIndex(first))
+	}
+	lastFull := as.BlockOf(r.Addr(31*32 - 1))
+	if as.BlockIndex(lastFull) != 30 {
+		t.Fatalf("offset %d block index = %d, want 30", 31*32-1, as.BlockIndex(lastFull))
+	}
+	tail := as.BlockOf(r.Addr(999))
+	if as.BlockIndex(tail) != 31 {
+		t.Fatalf("tail block index = %d, want 31", as.BlockIndex(tail))
+	}
+	if tail.RegionID() != first.RegionID() {
+		t.Fatal("tail block left its region")
+	}
+}
+
+// TestBlockAtRoundTrip: Region.BlockAt is the inverse of
+// AddressSpace.BlockIndex for every block of the region, across block
+// sizes and a non-power-of-2 region size.
+func TestBlockAtRoundTrip(t *testing.T) {
+	for _, bs := range []int{16, 32, 256} {
+		as := NewAddressSpace(4, bs)
+		as.NewRegion("pre", 3*int64(bs), func(int64) int { return 0 }) // shift region IDs past 0
+		r := as.NewRegion("d", int64(bs)*17+5, func(b int64) int { return int(b % 4) })
+		for i := int64(0); i < r.NumBlocks(); i++ {
+			b := r.BlockAt(i)
+			if as.BlockIndex(b) != i {
+				t.Fatalf("bs=%d: BlockIndex(BlockAt(%d)) = %d", bs, i, as.BlockIndex(b))
+			}
+			if as.BlockOf(Addr(b)) != b {
+				t.Fatalf("bs=%d: BlockAt(%d) not block-aligned", bs, i)
+			}
+			if b.RegionID() != r.ID {
+				t.Fatalf("bs=%d: BlockAt(%d) in region %d, want %d", bs, i, b.RegionID(), r.ID)
+			}
+		}
+	}
+}
+
+// TestContiguousAcrossRegionEnds: the last block of one region and the
+// first of the next are never contiguous, even though the regions were
+// allocated back to back — coalescing must not span regions.
+func TestContiguousAcrossRegionEnds(t *testing.T) {
+	as := NewAddressSpace(2, 32)
+	r0 := as.NewRegion("a", 128, evenOdd)
+	r1 := as.NewRegion("b", 128, evenOdd)
+	last0 := r0.BlockAt(r0.NumBlocks() - 1)
+	first1 := r1.BlockAt(0)
+	if as.Contiguous(last0, first1) {
+		t.Fatal("blocks of different regions reported contiguous")
+	}
+	// Within one region the same pair-distance is contiguous.
+	if !as.Contiguous(r0.BlockAt(2), r0.BlockAt(3)) {
+		t.Fatal("adjacent blocks not contiguous")
+	}
+	// The tail block of a non-power-of-2 region is contiguous with its
+	// predecessor like any other block.
+	odd := as.NewRegion("odd", 100, evenOdd) // 4 blocks, 4-byte tail
+	if !as.Contiguous(odd.BlockAt(odd.NumBlocks()-2), odd.BlockAt(odd.NumBlocks()-1)) {
+		t.Fatal("tail block not contiguous with predecessor")
+	}
+	// Identical blocks and reversed order are not contiguous.
+	if as.Contiguous(first1, first1) || as.Contiguous(r0.BlockAt(3), r0.BlockAt(2)) {
+		t.Fatal("degenerate pairs reported contiguous")
+	}
+}
+
+// Property: BlockIndex agrees with plain offset division for arbitrary
+// offsets and block sizes (the shift-based fast path must match).
+func TestBlockIndexMatchesDivisionProperty(t *testing.T) {
+	f := func(rawOff uint32, bsSel uint8) bool {
+		blockSizes := []int{16, 32, 64, 128, 512}
+		bs := blockSizes[int(bsSel)%len(blockSizes)]
+		as := NewAddressSpace(2, bs)
+		r := as.NewRegion("d", 1<<20, evenOdd)
+		off := int64(rawOff) % (1 << 20)
+		b := as.BlockOf(r.Addr(off))
+		return as.BlockIndex(b) == off/int64(bs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: home assignment partitions blocks — every block has exactly
 // one home and it is stable.
 func TestHomePartitionProperty(t *testing.T) {

@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sort"
 
+	"presto/internal/blockstate"
 	"presto/internal/core"
 	"presto/internal/memory"
 	"presto/internal/metrics"
@@ -89,6 +90,11 @@ type Config struct {
 	// (mutation testing for internal/chaos — the differential oracle must
 	// catch every listed mutation). Empty in normal operation.
 	ChaosMutation string
+	// Storage selects the block-state backend for directories, protocol
+	// deferral state and schedules: blockstate.Dense (default) uses paged
+	// tables indexed by block index; blockstate.MapRef keeps the map-based
+	// reference implementation for differential testing.
+	Storage blockstate.Kind
 }
 
 // Chaos mutations accepted by Config.ChaosMutation.
@@ -154,18 +160,22 @@ func New(cfg Config) *Machine {
 	switch c.Protocol {
 	case ProtoStache:
 		s := stache.New()
+		s.Storage = c.Storage
 		if c.ChaosMutation == MutationStacheSkipDeferral {
 			s.BreakOvertakingDeferral = true
 		}
 		m.Proto = s
 	case ProtoPredictive:
 		p := core.New()
+		p.Storage = c.Storage
 		p.Coalesce = !c.NoCoalesce
 		p.AnticipateConflicts = c.AnticipateConflicts
 		p.FlushEvery = c.FlushEvery
 		m.Proto = p
 	case ProtoUpdate:
-		m.Proto = update.New()
+		u := update.New()
+		u.Storage = c.Storage
+		m.Proto = u
 	default:
 		panic(fmt.Sprintf("rt: unknown protocol %q", c.Protocol))
 	}
@@ -203,6 +213,9 @@ func (m *Machine) Run(prog Program) error {
 	m.Nodes = make([]*tempest.Node, c.Nodes)
 	for i := 0; i < c.Nodes; i++ {
 		n := tempest.NewNode(i, m.AS, c.Net, m.Proto)
+		if c.Storage == blockstate.MapRef {
+			n.Dir = tempest.NewDirectoryRef(m.AS)
+		}
 		n.Trace = sink
 		n.UseMetrics(m.Reg)
 		m.Nodes[i] = n

@@ -10,11 +10,17 @@
 // by the pre-send phase fault as usual and extend the schedule for
 // subsequent iterations; deletions are not tracked (a Flush rebuilds from
 // scratch).
+//
+// Entries live in a dense paged block-state table (internal/blockstate),
+// which keeps them in block order by construction: the pre-send walk
+// iterates a cached, already-ordered slice with zero allocation and no
+// per-walk sort.
 package schedule
 
 import (
 	"sort"
 
+	"presto/internal/blockstate"
 	"presto/internal/memory"
 	"presto/internal/tempest"
 )
@@ -65,32 +71,42 @@ type Entry struct {
 // Phase is the incremental communication schedule of one parallel phase
 // at one home node.
 type Phase struct {
-	ID      int
-	entries map[memory.Block]*Entry
+	ID int
+
+	tab blockstate.Store[Entry]
+	// cache is the block-ordered entry slice handed out by Entries(),
+	// rebuilt lazily after a record invalidates it. Entry pointers are
+	// stable (blockstate slots never move), so the cache survives
+	// in-place mutation of existing entries.
+	cache   []*Entry
+	cacheOK bool
 }
 
 // NewPhase returns an empty schedule for the given phase ID.
-func NewPhase(id int) *Phase {
-	return &Phase{ID: id, entries: make(map[memory.Block]*Entry)}
+func NewPhase(as *memory.AddressSpace, id int, kind blockstate.Kind) *Phase {
+	return &Phase{ID: id, tab: blockstate.New[Entry](as, kind)}
 }
 
 // Len reports the number of scheduled blocks.
-func (p *Phase) Len() int { return len(p.entries) }
+func (p *Phase) Len() int { return p.tab.Len() }
 
 // Empty reports whether the schedule has no entries.
-func (p *Phase) Empty() bool { return len(p.entries) == 0 }
+func (p *Phase) Empty() bool { return p.tab.Len() == 0 }
 
 // Lookup returns the entry for b, or nil.
-func (p *Phase) Lookup(b memory.Block) *Entry { return p.entries[b] }
+func (p *Phase) Lookup(b memory.Block) *Entry { return p.tab.Get(b) }
 
 // RecordRead notes a faulting read of b by reader. It returns true when
 // this record turned the entry into a conflict.
 func (p *Phase) RecordRead(b memory.Block, reader int) (becameConflict bool) {
-	e := p.entries[b]
-	if e == nil {
-		e = &Entry{Block: b, Mode: ModeRead, Writer: -1, FirstWriter: -1}
+	e, created := p.tab.Ensure(b)
+	if created {
+		e.Block = b
+		e.Mode = ModeRead
+		e.Writer = -1
+		e.FirstWriter = -1
 		e.Readers.Add(reader)
-		p.entries[b] = e
+		p.cacheOK = false
 		return false
 	}
 	switch e.Mode {
@@ -107,9 +123,13 @@ func (p *Phase) RecordRead(b memory.Block, reader int) (becameConflict bool) {
 // RecordWrite notes a faulting write of b by writer. It returns true when
 // this record turned the entry into a conflict.
 func (p *Phase) RecordWrite(b memory.Block, writer int) (becameConflict bool) {
-	e := p.entries[b]
-	if e == nil {
-		p.entries[b] = &Entry{Block: b, Mode: ModeWrite, Writer: writer, FirstWriter: -1}
+	e, created := p.tab.Ensure(b)
+	if created {
+		e.Block = b
+		e.Mode = ModeWrite
+		e.Writer = writer
+		e.FirstWriter = -1
+		p.cacheOK = false
 		return false
 	}
 	switch e.Mode {
@@ -130,42 +150,51 @@ func (e *Entry) freeze() {
 	e.FirstWriter = e.Writer
 }
 
-// Entries returns the schedule's entries sorted by block address — the
+// Entries returns the schedule's entries in ascending block order — the
 // deterministic pre-send walk order, which also makes contiguous blocks
-// adjacent for coalescing.
+// adjacent for coalescing. The slice is cached and rebuilt only after new
+// blocks were recorded, so the repeated-walk path performs no allocation
+// and no sort; callers must not retain it across records.
 func (p *Phase) Entries() []*Entry {
-	out := make([]*Entry, 0, len(p.entries))
-	for _, e := range p.entries {
-		out = append(out, e)
+	if !p.cacheOK {
+		p.cache = p.cache[:0]
+		p.tab.ForEach(func(_ memory.Block, e *Entry) {
+			p.cache = append(p.cache, e)
+		})
+		p.cacheOK = true
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Block < out[j].Block })
-	return out
+	return p.cache
 }
 
 // Conflicts reports the number of conflict entries.
 func (p *Phase) Conflicts() int {
 	c := 0
-	for _, e := range p.entries {
+	p.tab.ForEach(func(_ memory.Block, e *Entry) {
 		if e.Mode == ModeConflict {
 			c++
 		}
-	}
+	})
 	return c
 }
 
 // Table holds one home node's schedules for all phases.
 type Table struct {
+	as     *memory.AddressSpace
+	kind   blockstate.Kind
 	phases map[int]*Phase
 }
 
-// NewTable returns an empty schedule table.
-func NewTable() *Table { return &Table{phases: make(map[int]*Phase)} }
+// NewTable returns an empty schedule table whose phases store entries in
+// the given block-state backend.
+func NewTable(as *memory.AddressSpace, kind blockstate.Kind) *Table {
+	return &Table{as: as, kind: kind, phases: make(map[int]*Phase)}
+}
 
 // Phase returns the schedule for id, creating it if absent.
 func (t *Table) Phase(id int) *Phase {
 	p := t.phases[id]
 	if p == nil {
-		p = NewPhase(id)
+		p = NewPhase(t.as, id, t.kind)
 		t.phases[id] = p
 	}
 	return p
@@ -181,6 +210,19 @@ func (t *Table) Flush(id int) { delete(t.phases, id) }
 
 // FlushAll discards every schedule.
 func (t *Table) FlushAll() { t.phases = make(map[int]*Phase) }
+
+// ForEach visits every phase schedule in ascending phase-ID order
+// (deterministic — state hashing and reporting).
+func (t *Table) ForEach(fn func(p *Phase)) {
+	ids := make([]int, 0, len(t.phases))
+	for id := range t.phases {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fn(t.phases[id])
+	}
+}
 
 // Blocks reports the total number of scheduled blocks across phases.
 func (t *Table) Blocks() int {

@@ -16,6 +16,7 @@ package tempest
 import (
 	"fmt"
 
+	"presto/internal/blockstate"
 	"presto/internal/memory"
 	"presto/internal/metrics"
 	"presto/internal/network"
@@ -105,9 +106,10 @@ type Node struct {
 	// processor that have not yet been accessed. Protocols defer recalls
 	// and invalidations for such blocks until the access completes,
 	// which guarantees every grantee makes progress (no migratory
-	// livelock).
-	pendingUse  map[memory.Block]*useState
-	pendingUseN int
+	// livelock). pendingDeferred marks the subset with a protocol action
+	// waiting on the use.
+	pendingUse      *blockstate.BitTable
+	pendingDeferred *blockstate.BitTable
 
 	// ProtoState holds protocol-private per-node state.
 	ProtoState any
@@ -134,21 +136,23 @@ type Node struct {
 
 	// presendFresh tracks pre-sent blocks installed but not yet consumed
 	// by a compute access (schedule hit/accuracy accounting).
-	presendFresh  map[memory.Block]bool
-	presendFreshN int
+	presendFresh *blockstate.BitTable
 }
 
 // NewNode constructs a node over the given address space. The runtime
 // wires Peers and spawns the Procs.
 func NewNode(id int, as *memory.AddressSpace, net *network.Params, proto Protocol) *Node {
 	n := &Node{
-		ID:      id,
-		AS:      as,
-		Store:   memory.NewStore(as, id),
-		Net:     net,
-		Proto:   proto,
-		Dir:     NewDirectory(),
-		phaseID: -1,
+		ID:              id,
+		AS:              as,
+		Store:           memory.NewStore(as, id),
+		Net:             net,
+		Proto:           proto,
+		Dir:             NewDirectory(as),
+		phaseID:         -1,
+		pendingUse:      blockstate.NewBitTable(as),
+		pendingDeferred: blockstate.NewBitTable(as),
+		presendFresh:    blockstate.NewBitTable(as),
 	}
 	n.Met = NewMetrics(metrics.New(), id) // standalone registry; rt rebinds
 	return n
@@ -209,13 +213,7 @@ func (n *Node) NotePresendArrival(b memory.Block) {
 		n.Met.PresendsRaced.Inc()
 		return // raced with a fault: the fault was not averted
 	}
-	if n.presendFresh == nil {
-		n.presendFresh = make(map[memory.Block]bool)
-	}
-	if !n.presendFresh[b] {
-		n.presendFresh[b] = true
-		n.presendFreshN++
-	} else {
+	if !n.presendFresh.Set(b) {
 		// A re-pre-send superseding a still-fresh copy: the earlier
 		// install was never consumed, so score it stale — every install
 		// must land in exactly one bucket (check.Accounting).
@@ -225,14 +223,12 @@ func (n *Node) NotePresendArrival(b memory.Block) {
 
 // notePresendUse scores a schedule hit if the accessed block was pre-sent
 // and not yet consumed. Called on the compute processor's successful
-// access fast path (guarded by presendFreshN > 0).
+// access fast path (guarded by presendFresh.Count() > 0).
 func (n *Node) notePresendUse(a memory.Addr) {
 	b := n.AS.BlockOf(a)
-	if !n.presendFresh[b] {
+	if !n.presendFresh.Clear(b) {
 		return
 	}
-	delete(n.presendFresh, b)
-	n.presendFreshN--
 	n.Met.PresendHits.Inc()
 	if n.curPhase != nil {
 		n.curPhase.PresendHits++
@@ -243,7 +239,7 @@ func (n *Node) notePresendUse(a memory.Addr) {
 // that no compute access has consumed yet. At quiescence the exact
 // accounting identity PresendsIn == PresendHits + PresendsStale +
 // PresendFreshCount must hold (checked by internal/check).
-func (n *Node) PresendFreshCount() int { return n.presendFreshN }
+func (n *Node) PresendFreshCount() int { return n.presendFresh.Count() }
 
 // ResetPresendCounters zeroes the node's schedule-hit bookkeeping for
 // phase id (all phases when id < 0), including pending unconsumed
@@ -264,10 +260,9 @@ func (n *Node) ResetPresendCounters(id int) {
 		// every unconsumed pre-send. Account them as stale (wasted) so the
 		// node-global exact identity PresendsIn == PresendHits +
 		// PresendsStale + PresendFreshCount survives the flush.
-		n.Met.PresendsStale.Add(int64(n.presendFreshN))
+		n.Met.PresendsStale.Add(int64(n.presendFresh.Count()))
 	}
-	n.presendFresh = nil
-	n.presendFreshN = 0
+	n.presendFresh.Reset()
 }
 
 // tracedMsg wraps a protocol message with the flow ID that links its
@@ -382,11 +377,9 @@ func (n *Node) fault(p *sim.Proc, a memory.Addr, write bool) {
 		}
 		p.OnCommit(func() { n.Trace.Record(ev) })
 	}
-	if n.presendFreshN > 0 && n.presendFresh[b] {
+	if n.presendFresh.Count() > 0 && n.presendFresh.Clear(b) {
 		// A pre-sent copy was installed but invalidated or recalled
 		// before the compute processor consumed it: a wasted pre-send.
-		delete(n.presendFresh, b)
-		n.presendFreshN--
 		n.Met.PresendsStale.Inc()
 	}
 	n.waiting, n.waitBlock = true, b
@@ -422,10 +415,10 @@ func (n *Node) fault(p *sim.Proc, a memory.Addr, write bool) {
 func (n *Node) ReadF64(p *sim.Proc, a memory.Addr) float64 {
 	for {
 		if v, ok := n.Store.LoadF64(a); ok {
-			if n.pendingUseN > 0 {
+			if n.pendingUse.Count() > 0 {
 				n.finishUse(p, a)
 			}
-			if n.presendFreshN > 0 {
+			if n.presendFresh.Count() > 0 {
 				n.notePresendUse(a)
 			}
 			return v
@@ -438,10 +431,10 @@ func (n *Node) ReadF64(p *sim.Proc, a memory.Addr) float64 {
 func (n *Node) WriteF64(p *sim.Proc, a memory.Addr, v float64) {
 	for {
 		if n.Store.StoreF64(a, v) {
-			if n.pendingUseN > 0 {
+			if n.pendingUse.Count() > 0 {
 				n.finishUse(p, a)
 			}
-			if n.presendFreshN > 0 {
+			if n.presendFresh.Count() > 0 {
 				n.notePresendUse(a)
 			}
 			return
@@ -458,10 +451,10 @@ func (n *Node) RMWF64(p *sim.Proc, a memory.Addr, fn func(v float64) float64) {
 	for {
 		if v, ok := n.Store.LoadF64(a); ok {
 			if n.Store.StoreF64(a, fn(v)) {
-				if n.pendingUseN > 0 {
+				if n.pendingUse.Count() > 0 {
 					n.finishUse(p, a)
 				}
-				if n.presendFreshN > 0 {
+				if n.presendFresh.Count() > 0 {
 					n.notePresendUse(a)
 				}
 				return
@@ -475,10 +468,10 @@ func (n *Node) RMWF64(p *sim.Proc, a memory.Addr, fn func(v float64) float64) {
 func (n *Node) ReadU64(p *sim.Proc, a memory.Addr) uint64 {
 	for {
 		if v, ok := n.Store.LoadU64(a); ok {
-			if n.pendingUseN > 0 {
+			if n.pendingUse.Count() > 0 {
 				n.finishUse(p, a)
 			}
-			if n.presendFreshN > 0 {
+			if n.presendFresh.Count() > 0 {
 				n.notePresendUse(a)
 			}
 			return v
@@ -491,10 +484,10 @@ func (n *Node) ReadU64(p *sim.Proc, a memory.Addr) uint64 {
 func (n *Node) WriteU64(p *sim.Proc, a memory.Addr, v uint64) {
 	for {
 		if n.Store.StoreU64(a, v) {
-			if n.pendingUseN > 0 {
+			if n.pendingUse.Count() > 0 {
 				n.finishUse(p, a)
 			}
-			if n.presendFreshN > 0 {
+			if n.presendFresh.Count() > 0 {
 				n.notePresendUse(a)
 			}
 			return
@@ -507,10 +500,10 @@ func (n *Node) WriteU64(p *sim.Proc, a memory.Addr, v uint64) {
 func (n *Node) ReadU32(p *sim.Proc, a memory.Addr) uint32 {
 	for {
 		if v, ok := n.Store.LoadU32(a); ok {
-			if n.pendingUseN > 0 {
+			if n.pendingUse.Count() > 0 {
 				n.finishUse(p, a)
 			}
-			if n.presendFreshN > 0 {
+			if n.presendFresh.Count() > 0 {
 				n.notePresendUse(a)
 			}
 			return v
@@ -523,10 +516,10 @@ func (n *Node) ReadU32(p *sim.Proc, a memory.Addr) uint32 {
 func (n *Node) WriteU32(p *sim.Proc, a memory.Addr, v uint32) {
 	for {
 		if n.Store.StoreU32(a, v) {
-			if n.pendingUseN > 0 {
+			if n.pendingUse.Count() > 0 {
 				n.finishUse(p, a)
 			}
-			if n.presendFreshN > 0 {
+			if n.presendFresh.Count() > 0 {
 				n.notePresendUse(a)
 			}
 			return
@@ -535,38 +528,25 @@ func (n *Node) WriteU32(p *sim.Proc, a memory.Addr, v uint32) {
 	}
 }
 
-// useState tracks one pending first use of a freshly granted block.
-type useState struct {
-	deferred bool // a protocol action waits for the use to complete
-}
-
 // MarkPendingUse records that the compute processor is about to consume a
 // grant for b. Called by protocols when installing data for a
 // fault-waiting compute processor.
 func (n *Node) MarkPendingUse(b memory.Block) {
-	if n.pendingUse == nil {
-		n.pendingUse = make(map[memory.Block]*useState)
-	}
-	if _, ok := n.pendingUse[b]; !ok {
-		n.pendingUse[b] = &useState{}
-		n.pendingUseN++
-	}
+	n.pendingUse.Set(b)
 }
 
 // PendingUse reports whether a grant for b awaits its first use.
 func (n *Node) PendingUse(b memory.Block) bool {
-	_, ok := n.pendingUse[b]
-	return ok
+	return n.pendingUse.Has(b)
 }
 
 // DeferPostUse marks that the protocol owes a post-use action for b. It
 // reports false when no use is pending (the caller must act now).
 func (n *Node) DeferPostUse(b memory.Block) bool {
-	st := n.pendingUse[b]
-	if st == nil {
+	if !n.pendingUse.Has(b) {
 		return false
 	}
-	st.deferred = true
+	n.pendingDeferred.Set(b)
 	return true
 }
 
@@ -574,13 +554,10 @@ func (n *Node) DeferPostUse(b memory.Block) bool {
 // a protocol action was deferred, notifies the protocol processor.
 func (n *Node) finishUse(p *sim.Proc, a memory.Addr) {
 	b := n.AS.BlockOf(a)
-	st := n.pendingUse[b]
-	if st == nil {
+	if !n.pendingUse.Clear(b) {
 		return
 	}
-	delete(n.pendingUse, b)
-	n.pendingUseN--
-	if st.deferred {
+	if n.pendingDeferred.Clear(b) {
 		n.Post(p, n, MsgUseDone{Block: b})
 	}
 }

@@ -69,26 +69,112 @@ func TestBitsetSetSemantics(t *testing.T) {
 	}
 }
 
+func dirAS() *memory.AddressSpace {
+	as := memory.NewAddressSpace(2, 32)
+	as.NewRegion("r", 1<<16, func(b int64) int { return int(b % 2) })
+	return as
+}
+
 func TestDirectoryMaterialization(t *testing.T) {
-	d := NewDirectory()
-	b := memory.Block(0x40)
-	if d.Lookup(b) != nil {
-		t.Fatal("lookup created an entry")
+	for name, d := range map[string]*Directory{
+		"dense":  NewDirectory(dirAS()),
+		"mapref": NewDirectoryRef(dirAS()),
+	} {
+		t.Run(name, func(t *testing.T) {
+			b := memory.Block(0x40)
+			if d.Lookup(b) != nil {
+				t.Fatal("lookup created an entry")
+			}
+			e := d.Entry(b)
+			if e.State != DirHome || e.Owner != -1 {
+				t.Fatalf("fresh entry = %+v", e)
+			}
+			if d.Entry(b) != e {
+				t.Fatal("entry not stable")
+			}
+			if d.Len() != 1 {
+				t.Fatalf("len = %d", d.Len())
+			}
+			count := 0
+			d.ForEach(func(memory.Block, *DirEntry) { count++ })
+			if count != 1 {
+				t.Fatalf("foreach visited %d", count)
+			}
+		})
 	}
-	e := d.Entry(b)
-	if e.State != DirHome || e.Owner != -1 {
-		t.Fatalf("fresh entry = %+v", e)
+}
+
+func TestDirectoryForEachOrdered(t *testing.T) {
+	for name, d := range map[string]*Directory{
+		"dense":  NewDirectory(dirAS()),
+		"mapref": NewDirectoryRef(dirAS()),
+	} {
+		t.Run(name, func(t *testing.T) {
+			for _, off := range []int64{0x400, 0x40, 0x2000, 0x0, 0x80} {
+				d.Entry(memory.Block(off))
+			}
+			var got []memory.Block
+			d.ForEach(func(b memory.Block, _ *DirEntry) { got = append(got, b) })
+			want := []memory.Block{0x0, 0x40, 0x80, 0x400, 0x2000}
+			if len(got) != len(want) {
+				t.Fatalf("visited %d entries, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("order[%d] = %#x, want %#x", i, uint64(got[i]), uint64(want[i]))
+				}
+			}
+		})
 	}
-	if d.Entry(b) != e {
-		t.Fatal("entry not stable")
+}
+
+func TestDirectoryPendingQueue(t *testing.T) {
+	d := NewDirectory(dirAS())
+	e := d.Entry(memory.Block(0x40))
+	if e.PendingLen() != 0 {
+		t.Fatal("fresh entry has pending requests")
 	}
-	if d.Len() != 1 {
-		t.Fatalf("len = %d", d.Len())
+	if _, ok := d.PopPending(e); ok {
+		t.Fatal("pop on empty queue succeeded")
 	}
-	count := 0
-	d.ForEach(func(memory.Block, *DirEntry) { count++ })
-	if count != 1 {
-		t.Fatalf("foreach visited %d", count)
+	// Push enough to force the ring to grow past the slab buffer size.
+	const reqs = 20
+	for i := 0; i < reqs; i++ {
+		d.PushPending(e, PendReq{Req: i, Write: i%2 == 0})
+	}
+	if e.PendingLen() != reqs {
+		t.Fatalf("PendingLen = %d, want %d", e.PendingLen(), reqs)
+	}
+	i := 0
+	e.ForEachPending(func(r PendReq) {
+		if r.Req != i {
+			t.Fatalf("ForEachPending[%d].Req = %d", i, r.Req)
+		}
+		i++
+	})
+	for i := 0; i < reqs; i++ {
+		r, ok := d.PopPending(e)
+		if !ok || r.Req != i || r.Write != (i%2 == 0) {
+			t.Fatalf("pop %d = %+v ok=%v", i, r, ok)
+		}
+	}
+	if e.PendingLen() != 0 {
+		t.Fatal("queue not drained")
+	}
+	// Drained buffers recycle through the slab: interleaved push/pop on
+	// two entries must keep FIFO order per entry.
+	e2 := d.Entry(memory.Block(0x80))
+	d.PushPending(e, PendReq{Req: 100})
+	d.PushPending(e2, PendReq{Req: 200})
+	d.PushPending(e, PendReq{Req: 101})
+	if r, _ := d.PopPending(e); r.Req != 100 {
+		t.Fatalf("interleaved pop = %+v", r)
+	}
+	if r, _ := d.PopPending(e2); r.Req != 200 {
+		t.Fatal("cross-entry queue corruption")
+	}
+	if r, _ := d.PopPending(e); r.Req != 101 {
+		t.Fatal("FIFO order lost after slab recycling")
 	}
 }
 

@@ -15,6 +15,7 @@ package update
 import (
 	"fmt"
 
+	"presto/internal/blockstate"
 	"presto/internal/memory"
 	"presto/internal/sim"
 	"presto/internal/stache"
@@ -31,6 +32,10 @@ type Update struct {
 	// protocol only to its producer-consumer data (e.g. body positions
 	// in SPMD Barnes) and leaves the rest under the default protocol.
 	regions map[int]bool
+
+	// Storage selects the block-state backend for the inherited Stache
+	// state (dense by default). Set before Init.
+	Storage blockstate.Kind
 }
 
 // New returns a write-update protocol instance applying to all regions.
@@ -61,7 +66,8 @@ func (u *Update) Name() string { return "update" }
 
 // Init implements tempest.Protocol.
 func (u *Update) Init(n *tempest.Node) {
-	n.ProtoState = &nodeState{cache: stache.NewNodeState()}
+	u.base.Storage = u.Storage
+	n.ProtoState = &nodeState{cache: stache.NewNodeState(n.AS, u.Storage)}
 }
 
 // OnFault implements tempest.Protocol. A home-node write to a block with
@@ -107,6 +113,7 @@ func (u *Update) Handle(n *tempest.Node, d sim.Delivery) {
 		for _, e := range m.Entries {
 			u.installUpdate(n, e.Block, e.Data)
 		}
+		tempest.PutBulkEntries(m.Entries)
 	default:
 		u.base.Handle(n, d)
 	}
@@ -132,15 +139,16 @@ func (u *Update) Push(n *tempest.Node, src *sim.Proc, blocks []memory.Block) {
 		last    memory.Block
 		entries []tempest.BulkEntry
 	}
-	bulks := make([]*pending, len(n.Peers))
+	bulks := make([]pending, len(n.Peers))
 	flush := func(dst int) {
-		pb := bulks[dst]
-		if pb == nil || len(pb.entries) == 0 {
+		pb := &bulks[dst]
+		if len(pb.entries) == 0 {
 			return
 		}
-		n.Post(src, n.Peers[dst], tempest.MsgBulk{Entries: pb.entries})
-		n.Stats.BulkMsgs++
+		msg := tempest.MsgBulk{Entries: pb.entries}
 		pb.entries = nil
+		n.Post(src, n.Peers[dst], msg)
+		n.Stats.BulkMsgs++
 	}
 	for _, b := range blocks {
 		if n.AS.HomeOf(b) != n.ID {
@@ -152,13 +160,12 @@ func (u *Update) Push(n *tempest.Node, src *sim.Proc, blocks []memory.Block) {
 		}
 		data := n.Store.Data(b)
 		e.Sharers.ForEach(func(r int) {
-			pb := bulks[r]
-			if pb == nil {
-				pb = &pending{}
-				bulks[r] = pb
-			}
+			pb := &bulks[r]
 			if len(pb.entries) > 0 && !n.AS.Contiguous(pb.last, b) {
 				flush(r)
+			}
+			if pb.entries == nil {
+				pb.entries = tempest.GetBulkEntries()
 			}
 			pb.entries = append(pb.entries, tempest.BulkEntry{Block: b, Data: append([]byte(nil), data...)})
 			pb.last = b
