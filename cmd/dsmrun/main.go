@@ -7,7 +7,8 @@
 //	dsmrun -app adaptive|barnes|water [-protocol stache|predictive|update]
 //	       [-nodes N] [-block B] [-net cm5|now|hwdsm] [-spmd] [-splash] [-size N] [-iters N]
 //	       [-metrics out.json] [-trace-out t.json] [-trace-format chrome|jsonl]
-//	       [-engine serial|parallel] [-workers N] [-cpuprofile f] [-memprofile f]
+//	       [-engine serial|parallel] [-workers N] [-sched wheel|heap]
+//	       [-cpuprofile f] [-memprofile f]
 //
 // -metrics writes the machine's full metrics report (breakdown, per-phase
 // stats, protocol counters, histograms) as JSON; "-" selects stdout.
@@ -20,6 +21,8 @@
 // -engine parallel runs the simulation on the kernel's conservative
 // parallel engine; every output (breakdown, metrics, traces) is
 // byte-identical to -engine serial — only wall-clock time changes.
+// -sched heap swaps the kernel's timing-wheel event scheduler for the
+// binary-heap reference (also byte-identical; differential testing).
 // -cpuprofile/-memprofile write pprof profiles of the simulator itself.
 package main
 
@@ -55,6 +58,7 @@ func main() {
 	traceFormat := flag.String("trace-format", "chrome", "trace format: chrome or jsonl")
 	engine := flag.String("engine", "serial", "kernel engine: serial or parallel")
 	workers := flag.Int("workers", 0, "parallel-engine workers (0 = GOMAXPROCS)")
+	sched := flag.String("sched", "wheel", "kernel event scheduler: wheel or heap")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -74,6 +78,7 @@ func main() {
 	mc := rt.Config{
 		Nodes: *nodes, BlockSize: *block, Protocol: rt.ProtocolKind(*protocol),
 		Net: netParams, Engine: rt.EngineKind(*engine), Workers: *workers,
+		Sched: rt.SchedKind(*sched),
 	}
 
 	var traceFile *os.File

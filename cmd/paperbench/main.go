@@ -5,8 +5,10 @@
 //	paperbench [-experiment all|table1|figure4|figure5|figure6|figure7|sweep|ablate-*]
 //	           [-list] [-scale quick|paper] [-net cm5|now|hwdsm]
 //	           [-csv out.csv] [-json out.json]
-//	           [-engine serial|parallel] [-workers N]
-//	           [-kernel-bench out.json] [-cpuprofile f] [-memprofile f]
+//	           [-engine serial|parallel] [-workers N] [-sched wheel|heap]
+//	           [-kernel-bench out.json] [-kernel-filter re]
+//	           [-kernel-diff base.json] [-kernel-diff-out diff.json]
+//	           [-cpuprofile f] [-memprofile f]
 //
 // -json (default BENCH_results.json; "" disables) writes every
 // experiment's rows — including the per-phase metrics — as one
@@ -18,11 +20,21 @@
 //
 // -engine parallel runs the simulation kernel's conservative parallel
 // engine (results are byte-identical to serial; only wall clock changes).
-// -workers caps its worker goroutines (default GOMAXPROCS).
+// -workers caps its worker goroutines (default GOMAXPROCS). -sched heap
+// swaps the kernel's timing-wheel event scheduler for the binary-heap
+// reference (also byte-identical; differential testing).
 //
 // -kernel-bench runs the kernel hot-path micro-benchmarks
 // (internal/kernelbench) plus a serial-vs-parallel wall-clock comparison
-// of figure5, writes them as JSON, and exits.
+// of figure5, writes them as JSON, and exits. The run fails (non-zero
+// exit) when a zero-alloc-guarded case allocates or a cross-case ratio
+// guard is exceeded (e.g. mesh8_parallel4 > 1.1x mesh8_serial).
+// -kernel-filter restricts the run to cases matching the regexp and
+// skips the figure5 wall-clock comparison — the CI regression diff uses
+// it to keep the job fast. -kernel-diff compares the fresh run against a
+// committed BENCH_kernel.json and fails on a >25% ns/op regression in
+// any guarded case; -kernel-diff-out writes the comparison as a JSON
+// artifact.
 package main
 
 import (
@@ -30,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -52,7 +65,11 @@ func main() {
 	jsonPath := flag.String("json", "BENCH_results.json", "write machine-readable results to this file (\"\" disables)")
 	engine := flag.String("engine", "serial", "kernel engine: serial or parallel")
 	workers := flag.Int("workers", 0, "parallel-engine workers (0 = GOMAXPROCS)")
+	sched := flag.String("sched", "wheel", "kernel event scheduler: wheel or heap")
 	kernelBench := flag.String("kernel-bench", "", "run kernel micro-benchmarks, write JSON to this file and exit")
+	kernelFilter := flag.String("kernel-filter", "", "run only kernel benchmark cases matching this `regexp` (skips the figure5 wall-clock comparison)")
+	kernelDiff := flag.String("kernel-diff", "", "compare the kernel benchmark run against this baseline JSON; fail on >25% ns/op regression in guarded cases")
+	kernelDiffOut := flag.String("kernel-diff-out", "", "write the -kernel-diff comparison as JSON to this file")
 	kernelBase := flag.String("kernel-bench-baseline", "", "embed this `go test -bench` output as the baseline section")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -72,6 +89,7 @@ func main() {
 		Scale:   harness.ParseScale(*scaleStr),
 		Engine:  rt.EngineKind(*engine),
 		Workers: *workers,
+		Sched:   rt.SchedKind(*sched),
 	}
 	if *netName != "" {
 		p, err := network.Preset(*netName)
@@ -87,7 +105,15 @@ func main() {
 	}
 
 	if *kernelBench != "" {
-		if err := runKernelBench(*kernelBench, *kernelBase, opts); err != nil {
+		kb := kernelBenchRun{
+			path:         *kernelBench,
+			baselinePath: *kernelBase,
+			filter:       *kernelFilter,
+			diffPath:     *kernelDiff,
+			diffOutPath:  *kernelDiffOut,
+			opts:         opts,
+		}
+		if err := kb.run(); err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
 			stopProf()
 			os.Exit(1)
@@ -173,7 +199,21 @@ type kernelBenchDoc struct {
 	Baseline []microResult `json:"baseline,omitempty"`
 	// Figure5 compares serial vs parallel wall clock for the figure5
 	// experiment at quick scale (byte-identical results, different engines).
-	Figure5 figure5Result `json:"figure5"`
+	// Omitted under -kernel-filter.
+	Figure5 *figure5Result `json:"figure5,omitempty"`
+	// Ratios are the cross-case performance guards (kernelbench.RatioGuards)
+	// evaluated on this run; a guard whose cases were filtered out is
+	// omitted rather than evaluated on stale numbers.
+	Ratios []ratioResult `json:"ratios,omitempty"`
+}
+
+type ratioResult struct {
+	Name  string  `json:"name"`
+	Num   string  `json:"num"`
+	Den   string  `json:"den"`
+	Ratio float64 `json:"ratio"`
+	Max   float64 `json:"max"`
+	OK    bool    `json:"ok"`
 }
 
 type microResult struct {
@@ -197,23 +237,50 @@ type figure5Result struct {
 	Note string `json:"note,omitempty"`
 }
 
-// runKernelBench measures the kernel micro-benchmarks and the figure5
-// serial-vs-parallel wall clock, and writes them as one JSON document.
-func runKernelBench(path, baselinePath string, opts harness.Options) error {
+// kernelBenchRun bundles the -kernel-bench mode's inputs.
+type kernelBenchRun struct {
+	path         string // output JSON (BENCH_kernel.json shape)
+	baselinePath string // optional `go test -bench` text to embed
+	filter       string // optional case-name regexp
+	diffPath     string // optional baseline JSON to diff against
+	diffOutPath  string // optional diff artifact path
+	opts         harness.Options
+}
+
+// run measures the kernel micro-benchmarks (optionally filtered) and the
+// figure5 serial-vs-parallel wall clock, writes them as one JSON
+// document, then applies the gates: zero-alloc guards, cross-case ratio
+// guards, and — under -kernel-diff — the ns/op regression bound against
+// a committed baseline.
+func (kb *kernelBenchRun) run() error {
+	var keep func(string) bool = func(string) bool { return true }
+	if kb.filter != "" {
+		re, err := regexp.Compile(kb.filter)
+		if err != nil {
+			return fmt.Errorf("-kernel-filter: %v", err)
+		}
+		keep = re.MatchString
+	}
+
 	var doc kernelBenchDoc
 	doc.Host.NumCPU = runtime.NumCPU()
 	doc.Host.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	doc.Host.GoVersion = runtime.Version()
-	if baselinePath != "" {
-		base, err := parseBenchOutput(baselinePath)
+	if kb.baselinePath != "" {
+		base, err := parseBenchOutput(kb.baselinePath)
 		if err != nil {
 			return err
 		}
 		doc.Baseline = base
 	}
 
-	var allocRegressions []string
+	var gateFailures []string
+	ran := 0
 	for _, c := range kernelbench.Cases() {
+		if !keep(c.Name) {
+			continue
+		}
+		ran++
 		r := testing.Benchmark(c.Bench)
 		doc.Micro = append(doc.Micro, microResult{
 			Name:        c.Name,
@@ -227,19 +294,82 @@ func runKernelBench(path, baselinePath string, opts harness.Options) error {
 		if c.ZeroAlloc {
 			guard = " [guarded]"
 			if r.AllocsPerOp() > 0 {
-				allocRegressions = append(allocRegressions,
+				gateFailures = append(gateFailures,
 					fmt.Sprintf("%s: %d allocs/op (want 0)", c.Name, r.AllocsPerOp()))
 			}
 		}
 		fmt.Printf("%-28s %12.1f ns/op %8d B/op %6d allocs/op%s\n",
 			c.Name, doc.Micro[len(doc.Micro)-1].NsPerOp, r.AllocedBytesPerOp(), r.AllocsPerOp(), guard)
 	}
+	if ran == 0 {
+		return fmt.Errorf("-kernel-filter %q matches no benchmark case", kb.filter)
+	}
 
+	// Cross-case ratio guards, evaluated only when both cases ran (a
+	// filtered run must not compare against numbers it did not take).
+	nsOf := func(name string) (float64, bool) {
+		for _, m := range doc.Micro {
+			if m.Name == name {
+				return m.NsPerOp, true
+			}
+		}
+		return 0, false
+	}
+	for _, g := range kernelbench.RatioGuards() {
+		num, okN := nsOf(g.Num)
+		den, okD := nsOf(g.Den)
+		if !okN || !okD {
+			continue
+		}
+		rr := ratioResult{Name: g.Name, Num: g.Num, Den: g.Den, Ratio: num / den, Max: g.Max}
+		rr.OK = rr.Ratio <= g.Max
+		doc.Ratios = append(doc.Ratios, rr)
+		status := "ok"
+		if !rr.OK {
+			status = "FAIL"
+			gateFailures = append(gateFailures,
+				fmt.Sprintf("%s: %s/%s = %.3f exceeds %.2f", g.Name, g.Num, g.Den, rr.Ratio, g.Max))
+		}
+		fmt.Printf("ratio %-22s %s/%s = %.3f (max %.2f) %s\n", g.Name, g.Num, g.Den, rr.Ratio, g.Max, status)
+	}
+
+	if kb.filter == "" {
+		fig5, err := kb.figure5()
+		if err != nil {
+			return err
+		}
+		doc.Figure5 = fig5
+	}
+
+	if err := writeJSONFile(kb.path, &doc); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", kb.path)
+
+	if kb.diffPath != "" {
+		failures, err := kb.diff(&doc)
+		if err != nil {
+			return err
+		}
+		gateFailures = append(gateFailures, failures...)
+	}
+
+	// The document (and diff artifact) are written either way, so a failed
+	// run stays inspectable; the gates fail the process afterwards.
+	if len(gateFailures) > 0 {
+		return fmt.Errorf("kernel benchmark gates failed:\n  %s",
+			strings.Join(gateFailures, "\n  "))
+	}
+	return nil
+}
+
+// figure5 times the figure5 experiment under both engines.
+func (kb *kernelBenchRun) figure5() (*figure5Result, error) {
 	fig5, ok := harness.ByID("figure5")
 	if !ok {
-		return fmt.Errorf("figure5 not registered")
+		return nil, fmt.Errorf("figure5 not registered")
 	}
-	workers := opts.Workers
+	workers := kb.opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -248,49 +378,118 @@ func runKernelBench(path, baselinePath string, opts harness.Options) error {
 		_, err := harness.RunExperiment(fig5, o)
 		return float64(time.Since(start).Nanoseconds()) / 1e6, err
 	}
-	serialMS, err := timeRun(harness.Options{Scale: opts.Scale, Engine: rt.EngineSerial})
+	serialMS, err := timeRun(harness.Options{Scale: kb.opts.Scale, Engine: rt.EngineSerial})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	parallelMS, err := timeRun(harness.Options{Scale: opts.Scale, Engine: rt.EngineParallel, Workers: workers})
+	parallelMS, err := timeRun(harness.Options{Scale: kb.opts.Scale, Engine: rt.EngineParallel, Workers: workers})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	doc.Figure5 = figure5Result{
+	res := &figure5Result{
 		SerialMS:   serialMS,
 		ParallelMS: parallelMS,
 		Workers:    workers,
 		Speedup:    serialMS / parallelMS,
 	}
-	if doc.Host.NumCPU < 4 && doc.Figure5.Speedup < 2 {
-		doc.Figure5.Note = fmt.Sprintf(
+	numCPU := runtime.NumCPU()
+	if numCPU < 4 && res.Speedup < 2 {
+		res.Note = fmt.Sprintf(
 			"host has %d CPU(s); wall-clock speedup requires a multi-core host — results remain byte-identical",
-			doc.Host.NumCPU)
+			numCPU)
 	}
 	fmt.Printf("figure5 wall clock: serial %.1fms, parallel(%d workers) %.1fms, speedup %.2fx on %d CPUs\n",
-		serialMS, workers, parallelMS, doc.Figure5.Speedup, doc.Host.NumCPU)
+		serialMS, workers, parallelMS, res.Speedup, numCPU)
+	return res, nil
+}
 
+// kernelDiffDoc is the -kernel-diff-out artifact: the per-case ns/op
+// comparison between a committed baseline and the fresh run.
+type kernelDiffDoc struct {
+	BaselinePath string          `json:"baseline_path"`
+	MaxRegress   float64         `json:"max_regress"` // allowed fractional ns/op growth on guarded cases
+	Cases        []kernelDiffRow `json:"cases"`
+	Failures     []string        `json:"failures,omitempty"`
+}
+
+type kernelDiffRow struct {
+	Name       string  `json:"name"`
+	BaseNsOp   float64 `json:"base_ns_per_op"`
+	NsOp       float64 `json:"ns_per_op"`
+	Change     float64 `json:"change"` // fractional: 0.25 = 25% slower
+	Guarded    bool    `json:"guarded"`
+	Regression bool    `json:"regression"`
+}
+
+// kernelDiffMaxRegress is the allowed fractional ns/op growth for a
+// guarded case between the committed baseline and a fresh CI run; wide
+// enough to absorb shared-runner noise, tight enough to catch a real
+// hot-path regression.
+const kernelDiffMaxRegress = 0.25
+
+// diff compares the fresh run against the committed baseline document and
+// returns gate failures for guarded cases that regressed beyond the
+// bound. Cases present on only one side (renames, filters) are skipped.
+func (kb *kernelBenchRun) diff(doc *kernelBenchDoc) ([]string, error) {
+	data, err := os.ReadFile(kb.diffPath)
+	if err != nil {
+		return nil, err
+	}
+	var base kernelBenchDoc
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("%s: %v", kb.diffPath, err)
+	}
+	baseNs := make(map[string]float64, len(base.Micro))
+	for _, m := range base.Micro {
+		baseNs[m.Name] = m.NsPerOp
+	}
+	out := kernelDiffDoc{BaselinePath: kb.diffPath, MaxRegress: kernelDiffMaxRegress}
+	for _, m := range doc.Micro {
+		bns, ok := baseNs[m.Name]
+		if !ok || bns <= 0 {
+			continue
+		}
+		row := kernelDiffRow{
+			Name:     m.Name,
+			BaseNsOp: bns,
+			NsOp:     m.NsPerOp,
+			Change:   m.NsPerOp/bns - 1,
+			Guarded:  m.Guarded,
+		}
+		row.Regression = row.Guarded && row.Change > kernelDiffMaxRegress
+		if row.Regression {
+			out.Failures = append(out.Failures, fmt.Sprintf(
+				"%s: %.1f ns/op vs baseline %.1f (%+.1f%%, bound +%.0f%%)",
+				m.Name, m.NsPerOp, bns, 100*row.Change, 100*kernelDiffMaxRegress))
+		}
+		out.Cases = append(out.Cases, row)
+		fmt.Printf("diff %-28s %12.1f -> %10.1f ns/op  %+6.1f%%\n", m.Name, bns, m.NsPerOp, 100*row.Change)
+	}
+	if len(out.Cases) == 0 {
+		return nil, fmt.Errorf("-kernel-diff: no case of this run exists in %s", kb.diffPath)
+	}
+	if kb.diffOutPath != "" {
+		if err := writeJSONFile(kb.diffOutPath, &out); err != nil {
+			return nil, err
+		}
+		fmt.Printf("wrote %s\n", kb.diffOutPath)
+	}
+	return out.Failures, nil
+}
+
+// writeJSONFile writes v with stable two-space indentation.
+func writeJSONFile(path string, v any) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
+	if err := enc.Encode(v); err != nil {
 		f.Close()
 		return err
 	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s\n", path)
-	// The document is written either way (so a failed run is inspectable);
-	// the allocation gate fails the process afterwards.
-	if len(allocRegressions) > 0 {
-		return fmt.Errorf("allocation regression on guarded hot paths:\n  %s",
-			strings.Join(allocRegressions, "\n  "))
-	}
-	return nil
+	return f.Close()
 }
 
 // parseBenchOutput extracts per-benchmark numbers from `go test -bench

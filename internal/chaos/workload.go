@@ -84,12 +84,22 @@ func (f Fingerprint) diff(g Fingerprint) []string {
 // (rt.Mutation*; empty for honest runs); maxEvents guards against
 // livelock (a mutated protocol may spin).
 func Execute(s Spec, proto rt.ProtocolKind, engine rt.EngineKind, mutation string, maxEvents int64) Fingerprint {
-	return ExecuteStorage(s, proto, engine, mutation, maxEvents, "")
+	return execute(s, proto, engine, mutation, maxEvents, "", "")
 }
 
 // ExecuteStorage is Execute with an explicit block-state storage backend
 // (the dense-vs-map differential; empty means the dense default).
 func ExecuteStorage(s Spec, proto rt.ProtocolKind, engine rt.EngineKind, mutation string, maxEvents int64, storage blockstate.Kind) Fingerprint {
+	return execute(s, proto, engine, mutation, maxEvents, storage, "")
+}
+
+// ExecuteSched is Execute with an explicit kernel event scheduler (the
+// wheel-vs-heap differential; empty means the wheel default).
+func ExecuteSched(s Spec, proto rt.ProtocolKind, engine rt.EngineKind, sched rt.SchedKind, maxEvents int64) Fingerprint {
+	return execute(s, proto, engine, "", maxEvents, "", sched)
+}
+
+func execute(s Spec, proto rt.ProtocolKind, engine rt.EngineKind, mutation string, maxEvents int64, storage blockstate.Kind, sched rt.SchedKind) Fingerprint {
 	base, err := network.Preset(s.Net)
 	if err != nil {
 		panic(err) // derivation only emits known presets
@@ -104,6 +114,7 @@ func ExecuteStorage(s Spec, proto rt.ProtocolKind, engine rt.EngineKind, mutatio
 		MaxEvents:     maxEvents,
 		ChaosMutation: mutation,
 		Storage:       storage,
+		Sched:         sched,
 	})
 	wl := buildWorkload(m, s)
 	var fp Fingerprint

@@ -45,6 +45,8 @@ type Options struct {
 	Engine rt.EngineKind
 	// Workers caps parallel-engine workers (default GOMAXPROCS).
 	Workers int
+	// Sched selects the kernel's event scheduler (default rt.SchedWheel).
+	Sched rt.SchedKind
 	// Net, when non-nil, overrides the default interconnect for
 	// experiments that do not pick their own (the platform-comparison
 	// experiments keep their per-row presets).
@@ -62,6 +64,7 @@ func (o Options) withDefaults() Options {
 func (o Options) machine(c rt.Config) rt.Config {
 	c.Engine = o.Engine
 	c.Workers = o.Workers
+	c.Sched = o.Sched
 	if c.Net == nil && o.Net != nil {
 		c.Net = o.Net
 	}

@@ -31,13 +31,37 @@ type Case struct {
 func Cases() []Case {
 	return append([]Case{
 		{"send_recv", benchSendRecv, true},
+		{"send_recv_chain", benchChain, true},
 		{"send_recv_burst64", benchBurst, true},
 		{"barrier8", benchBarrier, true},
 		{"sleep_advance", benchSleep, true},
 		{"fanout8", benchFanout, false},
-		{"mesh8_serial", benchMesh(false), false},
-		{"mesh8_parallel4", benchMesh(true), false},
+		{"wheel_vs_heap_burst256", benchSchedBurst256, false},
+		{"mesh8_serial", benchMesh(0), false},
+		{"mesh8_parallel4", benchMesh(4), false},
+		{"window_commit8", benchMesh(1), false},
 	}, protocolCases()...)
+}
+
+// RatioGuard bounds the ratio of two cases' ns/op; paperbench
+// -kernel-bench fails the run when the bound is exceeded (and skips the
+// guard when -kernel-filter excludes either case).
+type RatioGuard struct {
+	Name string // guard label in reports
+	Num  string // numerator case
+	Den  string // denominator case
+	Max  float64
+}
+
+// RatioGuards returns the cross-case performance bounds. The single
+// guard today pins the conservative parallel engine's per-event overhead:
+// on the mesh workload the 4-worker engine may cost at most 1.1x the
+// serial engine even on a single-CPU host, so window-commit machinery can
+// never silently regress again.
+func RatioGuards() []RatioGuard {
+	return []RatioGuard{
+		{Name: "parallel_engine_overhead", Num: "mesh8_parallel4", Den: "mesh8_serial", Max: 1.1},
+	}
 }
 
 // benchSendRecv is the canonical send/recv path: two Procs ping-pong one
@@ -60,6 +84,43 @@ func benchSendRecv(b *testing.B) {
 			p.Recv()
 		}
 	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchChain circulates a single token around an 8-proc ring: at every
+// instant exactly one proc is runnable, so every dispatch is a direct
+// proc-to-proc baton handoff (the chained-dispatch fast path) with no
+// scheduler-goroutine bounce. Each op is one hop.
+func benchChain(b *testing.B) {
+	const procs = 8
+	b.ReportAllocs()
+	k := sim.NewKernel()
+	var msg any = new(struct{})
+	n := b.N
+	ring := make([]*sim.Proc, procs)
+	for i := 0; i < procs; i++ {
+		i := i
+		ring[i] = k.Spawn(fmt.Sprintf("c%d", i), func(p *sim.Proc) {
+			// Hop h is taken by proc h%procs; proc i forwards every
+			// token it receives and exits once its share of n is done.
+			hops := n / procs
+			if i < n%procs {
+				hops++
+			}
+			for h := 0; h < hops; h++ {
+				if !(i == 0 && h == 0) {
+					p.Recv()
+				}
+				p.Send(ring[(i+1)%procs], msg, sim.Microsecond)
+			}
+			if i == n%procs {
+				p.Recv() // absorb the final hop's token so the ring drains
+			}
+		})
+	}
 	b.ResetTimer()
 	if err := k.Run(); err != nil {
 		b.Fatal(err)
@@ -151,10 +212,12 @@ func benchSleep(b *testing.B) {
 
 // benchMesh is an 8-proc ring where every proc forwards a message to its
 // right neighbor each round — the parallel engine's best case (all lanes
-// busy every window). Run serially and with the parallel engine so the
-// two engines' per-event overhead can be compared on one workload. Each
+// busy every window). workers selects the engine: 0 runs the serial
+// dispatcher, 1 runs the parallel engine's serialized (chained
+// window-commit) path, >1 runs the worker pool; the same workload under
+// every engine makes their per-event overhead directly comparable. Each
 // op is one round (8 sends + 8 receives).
-func benchMesh(parallel bool) func(b *testing.B) {
+func benchMesh(workers int) func(b *testing.B) {
 	return func(b *testing.B) {
 		const (
 			procs = 8
@@ -176,13 +239,54 @@ func benchMesh(parallel bool) func(b *testing.B) {
 		}
 		b.ResetTimer()
 		var err error
-		if parallel {
-			err = k.RunParallel(sim.ParallelConfig{Workers: 4, Lookahead: delay})
+		if workers > 0 {
+			err = k.RunParallel(sim.ParallelConfig{Workers: workers, Lookahead: delay})
 		} else {
 			err = k.Run()
 		}
 		if err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchSchedBurst256 holds a 256-deep pending-event set with scattered
+// timestamps — 256 procs in staggered sleep loops, durations spanning
+// past the wheel's horizon so pushes hit near buckets, the overflow heap
+// and its migration path. One op runs the workload once under the
+// timing wheel and once under the binary-heap reference, so the CI
+// regression diff catches a slowdown in either scheduler; the two
+// kernels' stats are asserted identical (the differential in miniature).
+func benchSchedBurst256(b *testing.B) {
+	const (
+		procs  = 256
+		rounds = 4
+	)
+	run := func(kind sim.SchedulerKind) sim.KernelStats {
+		k := sim.NewKernel()
+		k.UseScheduler(kind, sim.Microsecond)
+		for i := 0; i < procs; i++ {
+			i := i
+			k.Spawn(fmt.Sprintf("t%d", i), func(p *sim.Proc) {
+				for r := 0; r < rounds; r++ {
+					// 1µs..~1.5ms spread: mostly near-wheel, the long
+					// tail lands in overflow (wheel horizon 256µs).
+					d := sim.Time(1+(i*37+r*101)%1500) * sim.Microsecond
+					p.Sleep(d)
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			b.Fatal(err)
+		}
+		return k.Stats()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := run(sim.SchedWheel)
+		h := run(sim.SchedHeap)
+		if w != h {
+			b.Fatalf("wheel vs heap stats diverge: %+v vs %+v", w, h)
 		}
 	}
 }

@@ -54,6 +54,19 @@ const (
 	EngineParallel EngineKind = "parallel"
 )
 
+// SchedKind selects the kernel's pending-event scheduler.
+type SchedKind string
+
+const (
+	// SchedWheel is the timing-wheel scheduler (default). The bucket width
+	// is the interconnect's minimum cross-node latency, aligning one
+	// conservative lookahead window with O(1) buckets.
+	SchedWheel SchedKind = "wheel"
+	// SchedHeap is the binary-heap reference scheduler, kept for
+	// differential testing — output is byte-identical to SchedWheel.
+	SchedHeap SchedKind = "heap"
+)
+
 // Config describes one machine configuration.
 type Config struct {
 	// Nodes is the processor count (the paper used 32).
@@ -86,6 +99,10 @@ type Config struct {
 	// Workers caps the worker goroutines of the parallel engine
 	// (default GOMAXPROCS). Ignored for EngineSerial.
 	Workers int
+	// Sched selects the kernel's pending-event scheduler (default
+	// SchedWheel). SchedHeap keeps the reference heap for differential
+	// testing; results are byte-identical either way.
+	Sched SchedKind
 	// ChaosMutation names a deliberate protocol defect to inject
 	// (mutation testing for internal/chaos — the differential oracle must
 	// catch every listed mutation). Empty in normal operation.
@@ -120,6 +137,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.Engine == "" {
 		out.Engine = EngineSerial
+	}
+	if out.Sched == "" {
+		out.Sched = SchedWheel
 	}
 	return out
 }
@@ -199,6 +219,14 @@ func (m *Machine) Run(prog Program) error {
 	}
 	if c.ChaosMutation != "" && c.ChaosMutation != MutationStacheSkipDeferral {
 		return fmt.Errorf("rt: unknown chaos mutation %q", c.ChaosMutation)
+	}
+	switch c.Sched {
+	case SchedWheel:
+		m.Kernel.UseScheduler(sim.SchedWheel, c.Net.MinLatency())
+	case SchedHeap:
+		m.Kernel.UseScheduler(sim.SchedHeap, 0)
+	default:
+		return fmt.Errorf("rt: unknown scheduler %q", c.Sched)
 	}
 	m.Kernel.MaxEvents = c.MaxEvents
 	var ring *trace.Ring

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 )
 
@@ -25,16 +26,25 @@ import (
 // Side effects are not applied during lane execution. Posted events are
 // buffered per activation, OnCommit effects (trace records) are deferred,
 // and barrier arrivals are logged. After all lanes join, a single-threaded
-// commit replay merges the window's events in global (timestamp, sequence)
-// order, assigns the real sequence numbers to buffered posts in exactly
-// the order the serial engine would have (posts of an earlier activation
-// precede posts of a later one; posts within an activation keep program
-// order), applies barrier arrivals, runs deferred effects, and maintains
-// the kernel's dispatch statistics. The replay cross-checks every commit
-// against the lane's own execution log and panics on divergence, and it
-// panics if any buffered event lands inside the window on a foreign lane
-// (a lookahead violation). The result — final state, sequence numbers,
-// statistics, traces — is byte-identical to the serial engine's.
+// commit merges the window's events in global (timestamp, sequence) order,
+// assigns the real sequence numbers to buffered posts in exactly the order
+// the serial engine would have (posts of an earlier activation precede
+// posts of a later one; posts within an activation keep program order),
+// applies barrier arrivals, runs deferred effects, and maintains the
+// kernel's dispatch statistics.
+//
+// The commit needs no replay heap: each lane executed its window events in
+// nondecreasing (timestamp, order-key) order, so its step log is already a
+// sorted run and the global order is the k-way merge of the active lanes'
+// runs. A merge head always has its real sequence number — established
+// events were sequenced before the window opened, and a fresh post only
+// reaches the head after its posting activation (an earlier step of the
+// same lane) committed and sequenced it. Windows that activated a single
+// lane skip the merge and walk that lane's run directly. The commit panics
+// if any buffered event lands inside the window on a foreign lane (a
+// lookahead violation) or if a lane's run is not exhausted when the merge
+// ends (an ordering divergence). The result — final state, sequence
+// numbers, statistics, traces — is byte-identical to the serial engine's.
 
 // ParallelConfig configures Kernel.RunParallel.
 type ParallelConfig struct {
@@ -80,24 +90,25 @@ type lane struct {
 	id        int
 	park      chan struct{}
 	pool      eventPool
-	pending   laneHeap
+	pending   []*event // sorted window events; consumed from phead
+	phead     int
 	steps     []laneStep
 	cur       *laneStep
-	next      int    // commit-replay cursor into steps
+	next      int    // commit-merge cursor into steps
 	postKey   uint64 // provisional order key for freshly posted events
 	windowEnd Time
 	active    bool
+	stopped   bool     // a step panicked; stop executing this window
+	inWin     int      // fresh posts that landed inside this window
+	wex       *winExec // non-nil while this window runs serialized (baton crosses lanes)
 }
 
-// laneHeap orders a lane's window events: by timestamp, then established
+// laneBefore orders a lane's window events: by timestamp, then established
 // events (global seq already assigned) before fresh posts — a fresh post
 // always receives a larger global seq than any event that existed when the
 // window opened — then fresh posts by lane-local post order, which is the
 // order the serial engine would have posted (and hence sequenced) them.
-type laneHeap []*event
-
-func (h laneHeap) less(i, j int) bool {
-	a, b := h[i], h[j]
+func laneBefore(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
@@ -107,45 +118,27 @@ func (h laneHeap) less(i, j int) bool {
 	return a.seq < b.seq
 }
 
-func (h *laneHeap) push(e *event) {
-	q := append(*h, e)
-	*h = q
-	i := len(q) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !q.less(i, parent) {
-			break
-		}
-		q[i], q[parent] = q[parent], q[i]
-		i = parent
+// laneAdd places an event into the lane's sorted pending run. Established
+// events arrive from open() in global pop order — already sorted — and a
+// fresh post usually belongs at the tail, so the common case is a plain
+// append; anything else binary-inserts into the unconsumed suffix.
+func (l *lane) laneAdd(e *event) {
+	if n := len(l.pending); n == l.phead || laneBefore(l.pending[n-1], e) {
+		l.pending = append(l.pending, e)
+		return
 	}
-}
-
-func (h *laneHeap) pop() *event {
-	q := *h
-	n := len(q) - 1
-	e := q[0]
-	q[0] = q[n]
-	q[n] = nil
-	q = q[:n]
-	*h = q
-	i := 0
-	for {
-		l := 2*i + 1
-		if l >= n {
-			break
+	lo, hi := l.phead, len(l.pending)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if laneBefore(l.pending[mid], e) {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
-		c := l
-		if r := l + 1; r < n && q.less(r, l) {
-			c = r
-		}
-		if !q.less(c, i) {
-			break
-		}
-		q[i], q[c] = q[c], q[i]
-		i = c
 	}
-	return e
+	l.pending = append(l.pending, nil)
+	copy(l.pending[lo+1:], l.pending[lo:])
+	l.pending[lo] = e
 }
 
 // newStep appends (or recycles) a step record for event e.
@@ -159,8 +152,7 @@ func (l *lane) newStep(e *event) *laneStep {
 	st.ev = e
 	st.posts = st.posts[:0]
 	st.effects = st.effects[:0]
-	st.barrier = nil
-	st.barrierAt = 0
+	st.barrier = nil // barrierAt is only read under a non-nil barrier
 	st.panicked = nil
 	st.skipped = false
 	return st
@@ -178,15 +170,33 @@ func (l *lane) postLocal(at Time, kind eventKind, dst, from *Proc, msg any) {
 	l.postKey++
 	l.cur.posts = append(l.cur.posts, e)
 	if at < l.windowEnd && dst.lane == l {
-		l.pending.push(e)
+		l.laneAdd(e)
+		l.inWin++
 	}
 }
 
 // run drains the lane's pending window events, mirroring the serial
-// kernel's dispatch for each one and logging a step per event.
+// kernel's dispatch for each one and logging a step per event. Control
+// transfers directly between the lane's Proc goroutines (the same baton
+// pattern as the serial engine, dispatch.go): run hands off to the first
+// Proc the window wakes and waits on l.park for the baton back when the
+// lane's window work is done.
 func (l *lane) run() {
-	for len(l.pending) > 0 {
-		e := l.pending.pop()
+	if l.laneNext(nil) == dispatchHandoff {
+		<-l.park
+	}
+}
+
+// laneNext dispatches the lane's pending window events on the calling
+// goroutine until control must move (see serialNext for the contract).
+func (l *lane) laneNext(self *Proc) dispatchOutcome {
+	for {
+		if l.stopped || l.phead == len(l.pending) {
+			return dispatchStop
+		}
+		e := l.pending[l.phead]
+		l.pending[l.phead] = nil
+		l.phead++
 		st := l.newStep(e)
 		l.cur = st
 		p := e.proc
@@ -202,28 +212,269 @@ func (l *lane) run() {
 			if e.at > p.now {
 				p.now = e.at
 			}
-			l.activate(p)
 		case evDeliver:
 			p.mpush(Delivery{At: e.at, From: e.from, Msg: e.msg})
-			if p.state == stateBlockedRecv {
-				l.activate(p)
+			if p.state != stateBlockedRecv {
+				continue
 			}
 		}
-		if st.panicked != nil {
-			// Stop executing; the commit replay re-raises the panic at
-			// this step's position in global order.
-			return
+		p.state = stateRunning
+		if p == self {
+			return dispatchSelf
+		}
+		p.resume <- struct{}{}
+		return dispatchHandoff
+	}
+}
+
+// yieldFrom hands the lane baton onward from a Proc that just blocked.
+func (l *lane) yieldFrom(p *Proc) {
+	if x := l.wex; x != nil {
+		x.yieldFrom(p)
+		return
+	}
+	switch l.laneNext(p) {
+	case dispatchSelf:
+	case dispatchHandoff:
+		<-p.resume
+	case dispatchStop:
+		l.park <- struct{}{}
+		<-p.resume
+	}
+}
+
+// finishFrom hands the lane baton onward from a Proc whose body returned
+// or panicked; it runs as the goroutine's final act. A panic stops the
+// lane's window immediately — the commit re-raises it at this step's
+// position in global order.
+func (l *lane) finishFrom(p *Proc) {
+	if x := l.wex; x != nil {
+		x.finishFrom(p)
+		return
+	}
+	if p.panicVal != nil {
+		l.cur.panicked = p.panicVal
+		l.stopped = true
+		l.park <- struct{}{}
+		return
+	}
+	if l.laneNext(nil) == dispatchStop {
+		l.park <- struct{}{}
+	}
+}
+
+// winExec drives window execution when lanes run serialized — Workers <= 1
+// (chain mode), or a single-active-lane window under a worker pool. The
+// per-lane fork/join (worker handoff in, park rendezvous out) is pure
+// overhead when only one lane runs at a time; instead the baton crosses
+// lane boundaries directly: a Proc whose lane has drained continues
+// dispatching the next active lane's events inline. A lane's pending set
+// never refills after draining — in-window posts land only on the posting
+// Proc's own lane — so one forward sweep suffices.
+//
+// In chain mode the baton crosses window boundaries too: the goroutine
+// that drains the window's last lane commits the window, opens the next
+// one, and keeps dispatching. The engine goroutine parks once at the start
+// and receives the baton back (via k.park) only when the run stops —
+// scheduler drained, commit error, or a re-raised Proc panic (recorded on
+// err/panicVal). The commit still runs single-threaded in global order on
+// whichever goroutine holds the baton, so its semantics are unchanged.
+type winExec struct {
+	k         *Kernel
+	lookahead Time
+	chain     bool // commit + reopen windows inline (serialized engine)
+
+	active    []*lane
+	order     []*lane // lane of each window event, in global (at, seq) pop order
+	idx       int
+	windowEnd Time
+	pending   int // window events handed to lanes, not yet committed
+
+	err      error
+	panicVal any // a Proc-body panic re-raised by the commit
+	fault    any // a commit-machinery panic (lookahead violation, divergence)
+}
+
+// open claims the next conservative window [T, T+lookahead): it checks the
+// runaway guard, then moves every queued event inside the window onto its
+// lane's pending heap. The scheduler must be non-empty.
+func (x *winExec) open() error {
+	k := x.k
+	if k.MaxEvents > 0 && k.processed >= k.MaxEvents {
+		return &RunawayError{Events: k.processed, At: k.sched.peek().at}
+	}
+	x.windowEnd = k.sched.peek().at + x.lookahead
+	x.active = x.active[:0]
+	x.order = x.order[:0]
+	x.idx = 0
+	x.pending = 0
+	for {
+		e := k.sched.popBefore(x.windowEnd)
+		if e == nil {
+			break
+		}
+		l := e.proc.lane
+		if !l.active {
+			l.active = true
+			l.windowEnd = x.windowEnd
+			x.active = append(x.active, l)
+		}
+		l.pending = append(l.pending, e)
+		x.order = append(x.order, l)
+		x.pending++
+	}
+	return nil
+}
+
+// close commits the drained window and resets its lanes for the next one.
+// It reports whether the run may continue; on a commit error or a
+// re-raised Proc panic the outcome is recorded on err/panicVal.
+func (x *winExec) close() bool {
+	x.err, x.panicVal = x.k.commitWindow(x)
+	ok := x.err == nil && x.panicVal == nil
+	for _, l := range x.active {
+		if ok && l.next != len(l.steps) {
+			panic(fmt.Sprintf(
+				"sim: parallel commit diverged from lane %d execution: %d of %d steps committed",
+				l.id, l.next, len(l.steps)))
+		}
+		l.active = false
+		l.stopped = false
+		l.pending = l.pending[:0]
+		l.phead = 0
+		l.steps = l.steps[:0]
+		l.next = 0
+		l.postKey = 0
+		l.inWin = 0
+		l.cur = nil
+	}
+	return ok
+}
+
+// next dispatches remaining window events across lanes on the calling
+// goroutine; the contract matches serialNext. In chain mode a drained
+// window is committed and the next one opened without releasing the baton.
+func (x *winExec) next(self *Proc) dispatchOutcome {
+	for {
+		// Per-lane dispatch, inlined from laneNext: this runs once per
+		// simulated event, and the extra call frames measurably slow the
+		// serialized engine's hot loop.
+		for x.idx < len(x.active) {
+			l := x.active[x.idx]
+			for !l.stopped && l.phead < len(l.pending) {
+				e := l.pending[l.phead]
+				l.pending[l.phead] = nil
+				l.phead++
+				st := l.newStep(e)
+				l.cur = st
+				p := e.proc
+				if p.state == stateDone {
+					st.skipped = true
+					continue
+				}
+				switch e.kind {
+				case evResume:
+					if p.state == stateRunning {
+						panic("sim: resume of running proc")
+					}
+					if e.at > p.now {
+						p.now = e.at
+					}
+				case evDeliver:
+					p.mpush(Delivery{At: e.at, From: e.from, Msg: e.msg})
+					if p.state != stateBlockedRecv {
+						continue
+					}
+				}
+				p.state = stateRunning
+				if p == self {
+					return dispatchSelf
+				}
+				p.resume <- struct{}{}
+				return dispatchHandoff
+			}
+			x.idx++
+		}
+		if !x.chain || !x.advance(self) {
+			return dispatchStop
 		}
 	}
 }
 
-func (l *lane) activate(p *Proc) {
-	p.state = stateRunning
-	p.resume <- struct{}{}
-	<-l.park
-	if p.panicVal != nil {
-		l.cur.panicked = p.panicVal
+// advance closes the drained window and opens the next one (chain mode).
+// It reports whether dispatch may continue. The commit's own diagnostic
+// panics — lookahead violation, ordering divergence — may fire on a Proc
+// goroutine here; they are captured as a fault and re-raised by
+// RunParallel on the engine goroutine, where callers can recover them.
+func (x *winExec) advance(self *Proc) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			x.fault = r
+			ok = false
+		}
+	}()
+	if !x.close() {
+		return false
 	}
+	if x.k.sched.len() == 0 {
+		return false
+	}
+	if err := x.open(); err != nil {
+		x.err = err
+		return false
+	}
+	// Locality rotation: visit the committing Proc's own lane first. Lane
+	// visit order within a window is semantically free — lanes are
+	// independent and the commit order is fixed separately (x.order / the
+	// merge) — and starting with self's lane lets its next event continue
+	// on this goroutine (dispatchSelf), skipping a channel rendezvous at
+	// the window boundary.
+	if self != nil && self.lane.active {
+		for j, c := range x.active {
+			if c == self.lane {
+				x.active[0], x.active[j] = c, x.active[0]
+				break
+			}
+		}
+	}
+	return true
+}
+
+func (x *winExec) yieldFrom(p *Proc) {
+	switch x.next(p) {
+	case dispatchSelf:
+	case dispatchHandoff:
+		<-p.resume
+	case dispatchStop:
+		x.k.park <- struct{}{}
+		<-p.resume
+	}
+}
+
+func (x *winExec) finishFrom(p *Proc) {
+	if p.panicVal != nil {
+		// Record the panic and move on to the remaining lanes: their
+		// effects stay buffered, and the commit re-raises the panic at
+		// this step's position before reaching any of them.
+		l := p.lane
+		l.cur.panicked = p.panicVal
+		l.stopped = true
+	}
+	if x.next(nil) == dispatchStop {
+		x.k.park <- struct{}{}
+	}
+}
+
+// run1 executes a single-active-lane window on the engine goroutine with
+// the baton crossing directly (no worker handoff). Worker-pool mode only;
+// the engine commits the window afterwards.
+func (x *winExec) run1() {
+	l := x.active[0]
+	l.wex = x
+	if x.next(nil) == dispatchHandoff {
+		<-x.k.park
+	}
+	l.wex = nil
 }
 
 // RunParallel executes the simulation with the conservative parallel
@@ -259,7 +510,13 @@ func (k *Kernel) RunParallel(cfg ParallelConfig) error {
 		p.park = lanes[li].park
 	}
 
+	// Workers beyond GOMAXPROCS cannot add parallelism — they only add
+	// scheduling overhead and work-channel rendezvous — so the pool is
+	// clamped to the host's usable CPUs (results are worker-independent).
 	workers := cfg.Workers
+	if max := runtime.GOMAXPROCS(0); workers > max {
+		workers = max
+	}
 	if workers > nlanes {
 		workers = nlanes
 	}
@@ -278,58 +535,60 @@ func (k *Kernel) RunParallel(cfg ParallelConfig) error {
 		}
 	}
 
-	var active []*lane
-	var replay eventHeap
-	for len(k.queue) > 0 {
-		if k.MaxEvents > 0 && k.processed >= k.MaxEvents {
-			k.finished = true
-			return &RunawayError{Events: k.processed, At: k.queue.peek().at}
-		}
-		windowEnd := k.queue.peek().at + cfg.Lookahead
-		active = active[:0]
-		replay = replay[:0]
-		for len(k.queue) > 0 && k.queue.peek().at < windowEnd {
-			e := k.queue.pop()
-			l := e.proc.lane
-			if !l.active {
-				l.active = true
-				l.windowEnd = windowEnd
-				active = append(active, l)
-			}
-			l.pending.push(e)
-			replay.push(e)
-		}
+	wx := &winExec{k: k, lookahead: cfg.Lookahead}
 
-		switch {
-		case len(active) == 1:
-			active[0].run()
-		case work == nil:
-			for _, l := range active {
-				l.run()
+	if work == nil {
+		// Serialized engine: the baton chains across lanes and windows
+		// alike, so the entire run costs the same goroutine switches as
+		// the serial engine plus exactly one park rendezvous at the end.
+		wx.chain = true
+		for _, l := range lanes {
+			l.wex = wx
+		}
+		if k.sched.len() > 0 {
+			if err := wx.open(); err != nil {
+				k.finished = true
+				return err
 			}
-		default:
-			wg.Add(len(active))
-			for _, l := range active {
+			if wx.next(nil) == dispatchHandoff {
+				<-k.park
+			}
+			if wx.fault != nil {
+				k.finished = true
+				panic(wx.fault)
+			}
+			if wx.panicVal != nil {
+				k.finished = true
+				panic(wx.panicVal)
+			}
+			if wx.err != nil {
+				k.finished = true
+				return wx.err
+			}
+		}
+		return k.conclude()
+	}
+
+	for k.sched.len() > 0 {
+		if err := wx.open(); err != nil {
+			k.finished = true
+			return err
+		}
+		if len(wx.active) == 1 {
+			wx.run1()
+		} else {
+			wg.Add(len(wx.active))
+			for _, l := range wx.active {
 				work <- l
 			}
 			wg.Wait()
 		}
-
-		err, panicVal := k.commitWindow(&replay, windowEnd)
-		for _, l := range active {
-			l.active = false
-			l.steps = l.steps[:0]
-			l.next = 0
-			l.postKey = 0
-			l.cur = nil
-		}
-		if panicVal != nil {
+		if !wx.close() {
 			k.finished = true
-			panic(panicVal)
-		}
-		if err != nil {
-			k.finished = true
-			return err
+			if wx.panicVal != nil {
+				panic(wx.panicVal)
+			}
+			return wx.err
 		}
 	}
 	return k.conclude()
@@ -338,59 +597,162 @@ func (k *Kernel) RunParallel(cfg ParallelConfig) error {
 // commitWindow replays the window's events in global (timestamp, sequence)
 // order, assigning real sequence numbers to buffered posts, applying
 // barrier arrivals, and running deferred effects. It mirrors the serial
-// engine's statistics exactly: the union of the replay heap and the global
-// queue is, at every step, the serial engine's event queue at the
-// corresponding moment.
-func (k *Kernel) commitWindow(replay *eventHeap, windowEnd Time) (error, any) {
-	for len(*replay) > 0 {
-		if k.MaxEvents > 0 && k.processed >= k.MaxEvents {
-			return &RunawayError{Events: k.processed, At: replay.peek().at}, nil
+// engine's statistics exactly: pending (the count of window events not yet
+// committed) plus the global queue length is, at every step, the serial
+// engine's event-queue length at the corresponding moment.
+//
+// When no lane posted an event inside the window — the dominant case, as
+// cross-lane traffic lands at or past windowEnd by the lookahead bound —
+// every committed event was already sequenced when open() popped it from
+// the scheduler, so the global order is precisely the recorded pop order
+// and the commit is a linear walk. Otherwise the active lanes' step logs
+// are still sorted runs (established events in pop order, fresh posts
+// sequenced in commit order before they can reach a log head), and the
+// global order is their k-way merge via a min-scan.
+func (k *Kernel) commitWindow(x *winExec) (error, any) {
+	merge := false
+	for _, l := range x.active {
+		if l.inWin > 0 {
+			merge = true
+			break
 		}
-		if n := len(k.queue) + len(*replay); n > k.maxQueue {
-			k.maxQueue = n
-		}
-		k.processed++
-		e := replay.pop()
-		l := e.proc.lane
-		if l.next >= len(l.steps) || l.steps[l.next].ev != e {
-			panic(fmt.Sprintf("sim: parallel commit diverged from lane %d execution order (proc %q at %v)",
-				l.id, e.proc.name, e.at))
-		}
-		st := &l.steps[l.next]
-		l.next++
-		if !st.skipped {
-			if e.kind == evResume {
-				k.resumes++
-			} else {
-				k.deliveries++
+	}
+	pending := x.pending
+	if !merge {
+		// Specialized walk: every post routes out of the window (a fresh
+		// in-window post would have set inWin), so pending only shrinks
+		// and the scheduler length can be tracked without re-querying.
+		qlen := k.sched.len()
+		for _, l := range x.order {
+			if l.next >= len(l.steps) {
+				panic(fmt.Sprintf(
+					"sim: parallel commit diverged from lane %d execution: step %d missing",
+					l.id, l.next))
 			}
-		}
-		for _, pe := range st.posts {
-			pe.seq = k.seq
-			k.seq++
-			pe.fresh = false
-			if pe.at < windowEnd {
-				if pe.proc.lane != l {
+			st := &l.steps[l.next]
+			e := st.ev
+			if k.MaxEvents > 0 && k.processed >= k.MaxEvents {
+				return &RunawayError{Events: k.processed, At: e.at}, nil
+			}
+			if n := qlen + pending; n > k.maxQueue {
+				k.maxQueue = n
+			}
+			k.processed++
+			l.next++
+			pending--
+			if !st.skipped {
+				if e.kind == evResume {
+					k.resumes++
+				} else {
+					k.deliveries++
+				}
+			}
+			for _, pe := range st.posts {
+				pe.seq = k.seq
+				k.seq++
+				pe.fresh = false
+				if pe.at < x.windowEnd {
 					panic(fmt.Sprintf(
 						"sim: lookahead violation: %q scheduled an event on lane %d at %v, inside the window ending %v",
-						e.proc.name, pe.proc.lane.id, pe.at, windowEnd))
+						e.proc.name, pe.proc.lane.id, pe.at, x.windowEnd))
 				}
-				replay.push(pe)
-			} else {
-				k.queue.push(pe)
+				k.sched.push(pe)
+				qlen++
+			}
+			for _, fn := range st.effects {
+				fn()
+			}
+			if st.barrier != nil {
+				k.applyArrival(st, x.windowEnd)
+				qlen = k.sched.len() // arrival may post release events
+			}
+			if st.panicked != nil {
+				return nil, st.panicked
+			}
+			l.pool.put(e)
+		}
+		return nil, nil
+	}
+	single := len(x.active) == 1
+	for {
+		var l *lane
+		if single {
+			l = x.active[0]
+			if l.next >= len(l.steps) {
+				return nil, nil
+			}
+		} else {
+			for _, c := range x.active {
+				if c.next >= len(c.steps) {
+					continue
+				}
+				if l == nil {
+					l = c
+					continue
+				}
+				a, b := c.steps[c.next].ev, l.steps[l.next].ev
+				if a.at < b.at || (a.at == b.at && a.seq < b.seq) {
+					l = c
+				}
+			}
+			if l == nil {
+				return nil, nil
 			}
 		}
-		for _, fn := range st.effects {
-			fn()
+		if err, pv := k.commitStep(l, x.windowEnd, &pending); err != nil || pv != nil {
+			return err, pv
 		}
-		if st.barrier != nil {
-			k.applyArrival(st, windowEnd)
-		}
-		if st.panicked != nil {
-			return nil, st.panicked
-		}
-		l.pool.put(e)
 	}
+}
+
+// commitStep commits lane l's next logged step: statistics, post
+// sequencing and routing, deferred effects, barrier arrival. It returns a
+// non-nil error (runaway) or panic value when the run must stop at this
+// step.
+func (k *Kernel) commitStep(l *lane, windowEnd Time, pending *int) (error, any) {
+	st := &l.steps[l.next]
+	e := st.ev
+	if k.MaxEvents > 0 && k.processed >= k.MaxEvents {
+		return &RunawayError{Events: k.processed, At: e.at}, nil
+	}
+	if n := k.sched.len() + *pending; n > k.maxQueue {
+		k.maxQueue = n
+	}
+	k.processed++
+	l.next++
+	*pending--
+	if !st.skipped {
+		if e.kind == evResume {
+			k.resumes++
+		} else {
+			k.deliveries++
+		}
+	}
+	for _, pe := range st.posts {
+		pe.seq = k.seq
+		k.seq++
+		pe.fresh = false
+		if pe.at < windowEnd {
+			if pe.proc.lane != l {
+				panic(fmt.Sprintf(
+					"sim: lookahead violation: %q scheduled an event on lane %d at %v, inside the window ending %v",
+					e.proc.name, pe.proc.lane.id, pe.at, windowEnd))
+			}
+			*pending++
+		} else {
+			k.sched.push(pe)
+		}
+	}
+	for _, fn := range st.effects {
+		fn()
+	}
+	if st.barrier != nil {
+		k.applyArrival(st, windowEnd)
+	}
+	if st.panicked != nil {
+		return nil, st.panicked
+	}
+	l.pool.put(e)
 	return nil, nil
 }
 
@@ -409,21 +771,14 @@ func (k *Kernel) applyArrival(st *laneStep, windowEnd Time) {
 		return
 	}
 	// Last arrival: release everyone (waiters in arrival order, then the
-	// last arriver), exactly as the serial Wait does.
+	// last arriver) in one batch, exactly as the serial Wait does.
 	release := b.maxAt + b.cost
 	if release < windowEnd {
 		panic(fmt.Sprintf(
 			"sim: lookahead violation: barrier release at %v inside the window ending %v (barrier cost < lookahead)",
 			release, windowEnd))
 	}
-	for _, w := range b.waiters {
-		e := k.pool.get()
-		e.at, e.kind, e.proc = release, evResume, w
-		k.post(e)
-	}
-	e := k.pool.get()
-	e.at, e.kind, e.proc = release, evResume, p
-	k.post(e)
+	k.releaseAll(b.waiters, p, release)
 	b.count = 0
 	b.maxAt = 0
 	b.waiters = b.waiters[:0]

@@ -269,10 +269,16 @@ func (h eventHeap) peek() *event { return h[0] }
 // Kernel owns the event queue and all Procs of one simulation.
 type Kernel struct {
 	procs []*Proc
-	queue eventHeap
+	sched scheduler
 	seq   uint64
-	park  chan struct{} // Procs signal here when yielding control (serial engine)
+	park  chan struct{} // the baton returns here when the serial engine stops
 	pool  eventPool
+	batch []*event // scratch for batch barrier releases
+
+	// stop bookkeeping for the direct-dispatch baton (dispatch.go).
+	stop   stopReason
+	stopAt Time
+	failed *Proc
 
 	started  bool
 	finished bool
@@ -312,9 +318,11 @@ func (k *Kernel) Stats() KernelStats {
 	}
 }
 
-// NewKernel returns an empty simulation.
+// NewKernel returns an empty simulation using the timing-wheel scheduler
+// at DefaultWheelGranularity; UseScheduler selects the heap reference or a
+// different bucket width.
 func NewKernel() *Kernel {
-	return &Kernel{park: make(chan struct{})}
+	return &Kernel{park: make(chan struct{}), sched: newWheel(DefaultWheelGranularity)}
 }
 
 // Spawn registers a new Proc that will begin executing fn at virtual time 0
@@ -358,7 +366,7 @@ func (p *Proc) run() {
 			p.panicVal = r
 		}
 		p.state = stateDone
-		p.park <- struct{}{}
+		p.finish()
 	}()
 	p.fn(p)
 }
@@ -366,7 +374,33 @@ func (p *Proc) run() {
 func (k *Kernel) post(e *event) {
 	e.seq = k.seq
 	k.seq++
-	k.queue.push(e)
+	k.sched.push(e)
+}
+
+// releaseAll schedules an evResume at `at` for each waiter, then for self,
+// as one scheduler batch with consecutive sequence numbers — event-for-
+// event identical to posting them individually, but the wake times are
+// precomputed up front and the wheel files the whole release with a single
+// bucket append instead of n pushes.
+func (k *Kernel) releaseAll(waiters []*Proc, self *Proc, at Time) {
+	es := k.batch[:0]
+	for _, w := range waiters {
+		e := k.pool.get()
+		e.at, e.kind, e.proc = at, evResume, w
+		e.seq = k.seq
+		k.seq++
+		es = append(es, e)
+	}
+	e := k.pool.get()
+	e.at, e.kind, e.proc = at, evResume, self
+	e.seq = k.seq
+	k.seq++
+	es = append(es, e)
+	k.sched.pushBatch(es)
+	for i := range es {
+		es[i] = nil // the scheduler owns them now
+	}
+	k.batch = es[:0]
 }
 
 // postFrom schedules an event on behalf of the running Proc p, routing it
@@ -381,27 +415,14 @@ func (p *Proc) postFrom(at Time, kind eventKind, dst, from *Proc, msg any) {
 	p.k.post(e)
 }
 
-// activate hands control to p and blocks until p yields back.
-func (k *Kernel) activate(p *Proc) {
-	p.state = stateRunning
-	p.resume <- struct{}{}
-	<-k.park
-}
-
-// yield returns control from a Proc goroutine to its executor and blocks
-// until the executor reactivates the Proc.
-func (p *Proc) yield() {
-	p.park <- struct{}{}
-	<-p.resume
-}
-
 // OnCommit runs fn when the current event commits in global order. Under
 // the serial engine that is immediately; under the parallel engine fn is
 // buffered and invoked during the window's commit replay, after all
 // virtual-time-earlier events of other lanes have committed. Side effects
 // that escape the simulated node state (trace records, shared sinks) must
 // go through OnCommit so both engines emit them in the same order. fn runs
-// on the engine goroutine; it must not call back into the kernel, and it
+// single-threaded, on whichever goroutine performs the commit; it must not
+// call back into the kernel, and it
 // must capture any simulated state it needs by value — the Proc may have
 // run further ahead inside the window by the time fn executes.
 func (p *Proc) OnCommit(fn func()) {
@@ -528,12 +549,10 @@ func (p *Proc) Wait(b *Barrier) Time {
 		p.yield()
 		return p.now - arrive
 	}
-	// Last arrival: release everyone (including self) at maxAt+cost.
+	// Last arrival: release everyone (including self) at maxAt+cost, as
+	// one batch — waiters in arrival order, then self.
 	release := b.maxAt + b.cost
-	for _, w := range b.waiters {
-		p.postFrom(release, evResume, w, nil, nil)
-	}
-	p.postFrom(release, evResume, p, nil, nil)
+	p.k.releaseAll(b.waiters, p, release)
 	b.count = 0
 	b.maxAt = 0
 	b.waiters = b.waiters[:0]
@@ -571,6 +590,10 @@ func (e *DeadlockError) Error() string {
 // finished and the event queue has drained. It returns a DeadlockError if
 // non-daemon Procs remain blocked with no events pending, or the panic
 // value if a Proc panicked.
+//
+// "Serially" means one Proc goroutine runs at a time; control is handed
+// directly from Proc to Proc in global event order (see dispatch.go), and
+// this goroutine resumes only when the simulation stops.
 func (k *Kernel) Run() error {
 	if k.finished {
 		return fmt.Errorf("sim: kernel already ran")
@@ -579,43 +602,16 @@ func (k *Kernel) Run() error {
 	for _, p := range k.procs {
 		p.park = k.park
 	}
-	for len(k.queue) > 0 {
-		if k.MaxEvents > 0 && k.processed >= k.MaxEvents {
-			k.finished = true
-			return &RunawayError{Events: k.processed, At: k.queue.peek().at}
-		}
-		if n := len(k.queue); n > k.maxQueue {
-			k.maxQueue = n
-		}
-		k.processed++
-		e := k.queue.pop()
-		p := e.proc
-		at, kind, from, msg := e.at, e.kind, e.from, e.msg
-		k.pool.put(e)
-		if p.state == stateDone {
-			continue
-		}
-		switch kind {
-		case evResume:
-			k.resumes++
-			if p.state == stateRunning {
-				panic("sim: resume of running proc")
-			}
-			if at > p.now {
-				p.now = at
-			}
-			k.activate(p)
-		case evDeliver:
-			k.deliveries++
-			p.mpush(Delivery{At: at, From: from, Msg: msg})
-			if p.state == stateBlockedRecv {
-				k.activate(p)
-			}
-		}
-		if p.panicVal != nil {
-			k.finished = true
-			panic(p.panicVal)
-		}
+	if k.serialNext(nil) == dispatchHandoff {
+		<-k.park
+	}
+	switch k.stop {
+	case stopRunaway:
+		k.finished = true
+		return &RunawayError{Events: k.processed, At: k.stopAt}
+	case stopPanic:
+		k.finished = true
+		panic(k.failed.panicVal)
 	}
 	return k.conclude()
 }
