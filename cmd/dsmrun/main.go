@@ -6,12 +6,23 @@
 //
 //	dsmrun -app adaptive|barnes|water [-protocol stache|predictive|update]
 //	       [-nodes N] [-block B] [-net cm5|now|hwdsm] [-spmd] [-splash] [-size N] [-iters N]
-//	       [-metrics out.json] [-trace-out t.json] [-trace-format chrome|jsonl]
+//	       [-metrics out.json] [-metrics-out out.json]
+//	       [-profile] [-profile-out profile.json]
+//	       [-trace-out t.json] [-trace-format chrome|jsonl]
 //	       [-engine serial|parallel] [-workers N] [-sched wheel|heap]
 //	       [-cpuprofile f] [-memprofile f]
 //
 // -metrics writes the machine's full metrics report (breakdown, per-phase
 // stats, protocol counters, histograms) as JSON; "-" selects stdout.
+// -metrics-out is an alias for -metrics.
+// -profile enables the causal profiler: every wake edge is recorded, and
+// after the run dsmrun prints the exact time-attribution report (every
+// simulated nanosecond of every node classified into compute / transit /
+// occupancy / service / barrier / stall / presend / idle, validated to
+// sum to the node's total) plus the critical path. -profile-out writes
+// the same data as a stable profile.json artifact. With a chrome trace,
+// -profile also overlays the critical path as a dedicated lane with flow
+// arrows. Simulated results are identical with or without -profile.
 // -trace-out streams the protocol event trace to a file: -trace-format
 // chrome (default) produces a Chrome trace_event file for
 // chrome://tracing or https://ui.perfetto.dev; jsonl produces one JSON
@@ -36,6 +47,7 @@ import (
 	"presto/internal/apps/adaptive"
 	"presto/internal/apps/barnes"
 	"presto/internal/apps/water"
+	"presto/internal/causal"
 	"presto/internal/network"
 	"presto/internal/prof"
 	"presto/internal/rt"
@@ -54,6 +66,9 @@ func main() {
 	spmd := flag.Bool("spmd", false, "barnes: hand-optimized SPMD baseline (use -protocol update)")
 	splash := flag.Bool("splash", false, "water: Splash-2 shared-memory variant")
 	metricsOut := flag.String("metrics", "", "write the metrics report as JSON to this file (\"-\" = stdout)")
+	metricsOut2 := flag.String("metrics-out", "", "alias for -metrics: write the metrics report (including the full metrics registry) as JSON")
+	profile := flag.Bool("profile", false, "enable the causal profiler and print the critical-path/attribution report")
+	profileOut := flag.String("profile-out", "", "with -profile: write the profile.json artifact to this file (\"-\" = stdout)")
 	traceOut := flag.String("trace-out", "", "write the protocol event trace to this file")
 	traceFormat := flag.String("trace-format", "chrome", "trace format: chrome or jsonl")
 	engine := flag.String("engine", "serial", "kernel engine: serial or parallel")
@@ -78,7 +93,10 @@ func main() {
 	mc := rt.Config{
 		Nodes: *nodes, BlockSize: *block, Protocol: rt.ProtocolKind(*protocol),
 		Net: netParams, Engine: rt.EngineKind(*engine), Workers: *workers,
-		Sched: rt.SchedKind(*sched),
+		Sched: rt.SchedKind(*sched), Profile: *profile,
+	}
+	if *metricsOut == "" {
+		*metricsOut = *metricsOut2
 	}
 
 	var traceFile *os.File
@@ -137,6 +155,26 @@ func main() {
 		fatal(err)
 	}
 
+	var prof *causal.Profile
+	if *profile && m != nil {
+		prof, err = m.Profile(*app)
+		if err != nil {
+			fatal(err)
+		}
+		// The attribution invariant is load-bearing: refuse to emit a
+		// profile whose buckets do not sum to the simulated time.
+		if err := prof.Validate(); err != nil {
+			fatal(err)
+		}
+		if chrome != nil {
+			path, err := m.CriticalPath()
+			if err != nil {
+				fatal(err)
+			}
+			chrome.SetCriticalPath(rt.PathOverlay(path))
+		}
+	}
+
 	if traceFile != nil {
 		switch {
 		case chrome != nil:
@@ -181,6 +219,25 @@ func main() {
 	fmt.Printf("  %s\n", extra)
 	if m != nil {
 		printPhases(m)
+	}
+
+	if prof != nil {
+		fmt.Println()
+		prof.Render(os.Stdout)
+		if *profileOut != "" {
+			out := os.Stdout
+			if *profileOut != "-" {
+				f, err := os.Create(*profileOut)
+				if err != nil {
+					fatal(err)
+				}
+				defer f.Close()
+				out = f
+			}
+			if err := writeJSON(out, prof); err != nil {
+				fatal(err)
+			}
+		}
 	}
 }
 

@@ -6,6 +6,7 @@
 //	           [-list] [-scale quick|paper] [-net cm5|now|hwdsm]
 //	           [-csv out.csv] [-json out.json]
 //	           [-engine serial|parallel] [-workers N] [-sched wheel|heap]
+//	           [-profile]
 //	           [-kernel-bench out.json] [-kernel-filter re]
 //	           [-kernel-diff base.json] [-kernel-diff-out diff.json]
 //	           [-cpuprofile f] [-memprofile f]
@@ -17,6 +18,12 @@
 // -scale paper runs the Table 1 workload sizes on 32 simulated nodes
 // (minutes of wall clock); -scale quick (default) runs CI-sized versions
 // of the same experiments.
+//
+// -profile turns on the causal critical-path profiler for every machine
+// the experiments build. Figure rows then carry an exact time-attribution
+// profile (validated: buckets sum to total simulated time), rendered as
+// an extra table and embedded in the -json output. Simulated results are
+// identical with or without it.
 //
 // -engine parallel runs the simulation kernel's conservative parallel
 // engine (results are byte-identical to serial; only wall clock changes).
@@ -66,6 +73,7 @@ func main() {
 	engine := flag.String("engine", "serial", "kernel engine: serial or parallel")
 	workers := flag.Int("workers", 0, "parallel-engine workers (0 = GOMAXPROCS)")
 	sched := flag.String("sched", "wheel", "kernel event scheduler: wheel or heap")
+	profile := flag.Bool("profile", false, "enable the causal profiler on the figure experiments: rows gain a validated attribution profile, rendered after the phase tables and exported in -json")
 	kernelBench := flag.String("kernel-bench", "", "run kernel micro-benchmarks, write JSON to this file and exit")
 	kernelFilter := flag.String("kernel-filter", "", "run only kernel benchmark cases matching this `regexp` (skips the figure5 wall-clock comparison)")
 	kernelDiff := flag.String("kernel-diff", "", "compare the kernel benchmark run against this baseline JSON; fail on >25% ns/op regression in guarded cases")
@@ -90,6 +98,7 @@ func main() {
 		Engine:  rt.EngineKind(*engine),
 		Workers: *workers,
 		Sched:   rt.SchedKind(*sched),
+		Profile: *profile,
 	}
 	if *netName != "" {
 		p, err := network.Preset(*netName)

@@ -1,0 +1,162 @@
+// Package causal turns the sim kernel's flight-recorder edges into a
+// critical path and an exact time-attribution profile.
+//
+// The flight recorder (sim.Recorder) holds one Edge per binding wake —
+// a wake that advanced the woken Proc's clock, meaning the Proc was
+// waiting and the wake was the constraint. The critical path of the
+// execution is recovered by a backward walk from the last-finishing
+// Proc: at any point (proc, t) the proc's latest binding edge at or
+// before t is the wake that started the run leading to t, so the
+// interval between them is on-processor execution, the edge's
+// [Posted, At] interval is the waking mechanism (wire transit, barrier
+// cost, timer), and the walk continues from the waker at its posting
+// time. Segments therefore tile [0, end] exactly: a complete walk's
+// length equals the end-to-end simulated time by construction, and any
+// gap or overlap indicates recorder corruption (reported as an error).
+package causal
+
+import (
+	"fmt"
+
+	"presto/internal/sim"
+)
+
+// Segment is one contiguous critical-path interval.
+type Segment struct {
+	Proc int    // kernel Proc id (-1 for a cross-proc edge's convention: never; edges carry the source proc)
+	Name string // Proc name ("compute3", "proto1")
+	// Kind is "run" for on-processor execution, or the waking edge kind
+	// ("deliver" = wire transit, "barrier" = release cost, "timer").
+	Kind  string
+	Start sim.Time
+	End   sim.Time
+}
+
+// Dur returns the segment's duration.
+func (s Segment) Dur() sim.Time { return s.End - s.Start }
+
+// Path is a computed critical path.
+type Path struct {
+	// Segments tile [Segments[0].Start, End] in forward time order.
+	Segments []Segment
+	// End is the walk's origin (the last Proc's finish time); Length is
+	// End minus the earliest reached time — equal to End when complete.
+	End    sim.Time
+	Length sim.Time
+	// Truncated reports that the recorder ring evicted edges, so the
+	// walk may have terminated early (its tail run segment then absorbs
+	// the unexplained prefix).
+	Truncated bool
+}
+
+// walkCap bounds the walk's steps against pathological edge data; a real
+// recorder cannot cycle (kernel sequence order is acyclic), so hitting
+// the cap indicates corruption.
+const walkCap = 64
+
+// ComputePath walks the critical path backward from Proc endProc at
+// time end, using the kernel's flight recorder. The kernel must have
+// finished running with the recorder enabled.
+func ComputePath(k *sim.Kernel, endProc int, end sim.Time) (Path, error) {
+	rec := k.Recorder()
+	if rec == nil {
+		return Path{}, fmt.Errorf("causal: kernel has no flight recorder")
+	}
+	procs := k.Procs()
+	name := func(id int) string {
+		if id >= 0 && id < len(procs) {
+			return procs[id].Name()
+		}
+		return fmt.Sprintf("proc%d", id)
+	}
+	// Partition the ring by destination. Ring order is commit order, so
+	// each Proc's slice is already sorted by At (a binding edge strictly
+	// advances its Proc's monotone clock).
+	byDst := make([][]sim.Edge, len(procs))
+	for _, e := range rec.Edges() {
+		byDst[e.Dst] = append(byDst[e.Dst], e)
+	}
+
+	p := Path{End: end, Truncated: rec.Truncated()}
+	cur, t := endProc, end
+	maxSteps := 2*len(rec.Edges()) + walkCap
+	for steps := 0; ; steps++ {
+		if steps > maxSteps {
+			return p, fmt.Errorf("causal: critical-path walk did not terminate (cycle in edge data)")
+		}
+		if cur < 0 || cur >= len(procs) {
+			return p, fmt.Errorf("causal: edge references unknown proc %d", cur)
+		}
+		// Latest edge on cur with At <= t.
+		edges := byDst[cur]
+		lo, hi := 0, len(edges)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if edges[mid].At <= t {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == 0 {
+			// No earlier wake: the proc ran from its spawn (time 0) — or
+			// from the ring's horizon, if edges were evicted.
+			p.Segments = append(p.Segments, Segment{Proc: cur, Name: name(cur), Kind: "run", Start: 0, End: t})
+			break
+		}
+		e := edges[lo-1]
+		if e.Posted > e.At {
+			return p, fmt.Errorf("causal: edge posted after delivery (%v > %v)", e.Posted, e.At)
+		}
+		p.Segments = append(p.Segments, Segment{Proc: cur, Name: name(cur), Kind: "run", Start: e.At, End: t})
+		src := int(e.Src)
+		seg := Segment{Proc: src, Name: name(src), Kind: e.Kind.String(), Start: e.Posted, End: e.At}
+		if src < 0 { // kernel-injected wake: nothing further to chase
+			seg.Name = "kernel"
+			seg.Start = 0
+			p.Segments = append(p.Segments, seg)
+			break
+		}
+		p.Segments = append(p.Segments, seg)
+		cur, t = src, e.Posted
+		if t == 0 {
+			break
+		}
+	}
+	// Reverse into forward time order and total the length.
+	for i, j := 0, len(p.Segments)-1; i < j; i, j = i+1, j-1 {
+		p.Segments[i], p.Segments[j] = p.Segments[j], p.Segments[i]
+	}
+	for _, s := range p.Segments {
+		if s.Dur() < 0 {
+			return p, fmt.Errorf("causal: negative segment [%v,%v] on %s", s.Start, s.End, s.Name)
+		}
+		p.Length += s.Dur()
+	}
+	// Contiguity check: segments must tile [Start0, End] exactly.
+	for i := 1; i < len(p.Segments); i++ {
+		if p.Segments[i].Start != p.Segments[i-1].End {
+			return p, fmt.Errorf("causal: critical path has a gap at %v (%s -> %s)",
+				p.Segments[i-1].End, p.Segments[i-1].Name, p.Segments[i].Name)
+		}
+	}
+	return p, nil
+}
+
+// ByKind aggregates the path's time per segment kind.
+func (p Path) ByKind() map[string]sim.Time {
+	out := make(map[string]sim.Time)
+	for _, s := range p.Segments {
+		out[s.Kind] += s.Dur()
+	}
+	return out
+}
+
+// ByProc aggregates the path's time per Proc name.
+func (p Path) ByProc() map[string]sim.Time {
+	out := make(map[string]sim.Time)
+	for _, s := range p.Segments {
+		out[s.Name] += s.Dur()
+	}
+	return out
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"presto/internal/blockstate"
+	"presto/internal/causal"
 	"presto/internal/check"
 	"presto/internal/memory"
 	"presto/internal/network"
@@ -99,7 +100,34 @@ func ExecuteSched(s Spec, proto rt.ProtocolKind, engine rt.EngineKind, sched rt.
 	return execute(s, proto, engine, "", maxEvents, "", sched)
 }
 
+// ExecuteProfiled is Execute with the causal profiler enabled. It
+// returns the fingerprint — which must equal Execute's, since profiling
+// may not perturb the simulation — plus the assembled profile, already
+// checked against the attribution invariant (per-node bucket sums equal
+// total simulated time; serial critical-path length equals elapsed).
+func ExecuteProfiled(s Spec, proto rt.ProtocolKind, engine rt.EngineKind, maxEvents int64) (Fingerprint, *causal.Profile, error) {
+	fp, m := run(s, proto, engine, "", maxEvents, "", "", true)
+	if m == nil {
+		return fp, nil, fmt.Errorf("chaos: profiled run failed: %s", fp.Err)
+	}
+	p, err := m.Profile("chaos")
+	if err != nil {
+		return fp, nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return fp, nil, err
+	}
+	return fp, p, nil
+}
+
 func execute(s Spec, proto rt.ProtocolKind, engine rt.EngineKind, mutation string, maxEvents int64, storage blockstate.Kind, sched rt.SchedKind) Fingerprint {
+	fp, _ := run(s, proto, engine, mutation, maxEvents, storage, sched, false)
+	return fp
+}
+
+// run executes the spec and returns the machine alongside the
+// fingerprint (nil when the run itself errored).
+func run(s Spec, proto rt.ProtocolKind, engine rt.EngineKind, mutation string, maxEvents int64, storage blockstate.Kind, sched rt.SchedKind, profile bool) (Fingerprint, *rt.Machine) {
 	base, err := network.Preset(s.Net)
 	if err != nil {
 		panic(err) // derivation only emits known presets
@@ -115,12 +143,13 @@ func execute(s Spec, proto rt.ProtocolKind, engine rt.EngineKind, mutation strin
 		ChaosMutation: mutation,
 		Storage:       storage,
 		Sched:         sched,
+		Profile:       profile,
 	})
 	wl := buildWorkload(m, s)
 	var fp Fingerprint
 	if err := m.Run(wl.program(s)); err != nil {
 		fp.Err = err.Error()
-		return fp
+		return fp, nil
 	}
 	fp.ElapsedNS = int64(m.Elapsed())
 	fp.Kernel = m.Kernel.Stats()
@@ -134,7 +163,7 @@ func execute(s Spec, proto rt.ProtocolKind, engine rt.EngineKind, mutation strin
 	// Violations accumulate home-by-home; sort into one canonical order so
 	// fingerprints of identical runs compare equal.
 	sort.Strings(fp.Violations)
-	return fp
+	return fp, m
 }
 
 // workload holds the spec's shared aggregates on one machine.

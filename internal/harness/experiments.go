@@ -177,7 +177,11 @@ func runFigure5(o Options) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", v.label, err)
 		}
-		res.Rows = append(res.Rows, Row{Label: v.label, BlockSize: v.bs, B: r.Breakdown, C: r.Counters, Phases: r.Machine.PhaseBreakdown()})
+		row := Row{Label: v.label, BlockSize: v.bs, B: r.Breakdown, C: r.Counters, Phases: r.Machine.PhaseBreakdown()}
+		if err := o.attachProfile(&row, r.Machine, "adaptive"); err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
 	}
 	bestOpt, _ := res.Best("C** opt")
 	bestUnopt, _ := res.Best("C** unopt")
@@ -209,7 +213,11 @@ func runFigure6(o Options) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", v.label, err)
 		}
-		res.Rows = append(res.Rows, Row{Label: v.label, BlockSize: v.bs, B: r.Breakdown, C: r.Counters, Phases: r.Machine.PhaseBreakdown()})
+		row := Row{Label: v.label, BlockSize: v.bs, B: r.Breakdown, C: r.Counters, Phases: r.Machine.PhaseBreakdown()}
+		if err := o.attachProfile(&row, r.Machine, "barnes"); err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
 	}
 	o32, _ := res.Find("C** opt (32)")
 	u32, _ := res.Find("C** unopt (32)")
@@ -244,6 +252,9 @@ func runFigure7(o Options) (*Result, error) {
 				return nil, fmt.Errorf("%s(%d): %w", v.prefix, bs, err)
 			}
 			row := Row{Label: fmt.Sprintf("%s (%d)", v.prefix, bs), BlockSize: bs, B: r.Breakdown, C: r.Counters, Phases: r.Machine.PhaseBreakdown()}
+			if err := o.attachProfile(&row, r.Machine, "water"); err != nil {
+				return nil, err
+			}
 			if best == nil || row.Total() < best.Total() {
 				b := row
 				best = &b

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 
+	"presto/internal/causal"
 	"presto/internal/network"
 	"presto/internal/rt"
 	"presto/internal/sim"
@@ -51,6 +52,10 @@ type Options struct {
 	// experiments that do not pick their own (the platform-comparison
 	// experiments keep their per-row presets).
 	Net *network.Params
+	// Profile enables the causal profiler on every machine an experiment
+	// builds; figure rows then carry a validated attribution profile
+	// (rendered after the phase table and exported in the JSON results).
+	Profile bool
 }
 
 func (o Options) withDefaults() Options {
@@ -65,6 +70,7 @@ func (o Options) machine(c rt.Config) rt.Config {
 	c.Engine = o.Engine
 	c.Workers = o.Workers
 	c.Sched = o.Sched
+	c.Profile = o.Profile
 	if c.Net == nil && o.Net != nil {
 		c.Net = o.Net
 	}
@@ -80,6 +86,28 @@ type Row struct {
 	// Phases is the per-parallel-phase breakdown (empty for rows whose
 	// runner predates phase attribution).
 	Phases []rt.PhaseStat
+	// Profile is the validated causal attribution profile, present when
+	// the experiment ran with Options.Profile.
+	Profile *causal.Profile `json:"profile,omitempty"`
+}
+
+// attachProfile assembles and validates the row's causal profile when
+// profiling is on (a no-op otherwise). The attribution invariant is
+// enforced here: a profile whose buckets do not sum to the simulated
+// time fails the experiment.
+func (o Options) attachProfile(row *Row, m *rt.Machine, app string) error {
+	if !o.Profile {
+		return nil
+	}
+	p, err := m.Profile(app)
+	if err != nil {
+		return err
+	}
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("%s: %w", row.Label, err)
+	}
+	row.Profile = p
+	return nil
 }
 
 // Total returns the row's execution time.
@@ -175,6 +203,7 @@ func (res *Result) Render(w io.Writer) {
 	}
 	fmt.Fprintln(w, "\n  # compute+synch   p predictive protocol (pre-send)   r remote-data wait")
 	res.renderPhases(w)
+	res.renderAttribution(w)
 	if len(res.Notes) > 0 {
 		fmt.Fprintln(w)
 		for _, n := range res.Notes {
@@ -211,6 +240,42 @@ func (res *Result) renderPhases(w io.Writer) {
 				sim.Time(p.RemoteWaitNS), sim.Time(p.PresendNS),
 				p.Faults(), p.PresendsIn, hit)
 		}
+	}
+}
+
+// renderAttribution prints each profiled row's exact time-attribution
+// split (machine-summed causal buckets) plus its critical-path length —
+// the paperbench -profile view of the figure sweeps.
+func (res *Result) renderAttribution(w io.Writer) {
+	any := false
+	for _, r := range res.Rows {
+		if r.Profile != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	fmt.Fprintf(w, "\ncausal attribution (machine-summed, %% of total accounted time):\n")
+	fmt.Fprintf(w, "  %-26s %8s %8s %8s %8s %8s %8s %8s %8s %12s\n",
+		"version", "compute", "transit", "occup", "service", "barrier", "stall", "presend", "idle", "crit-path")
+	for _, r := range res.Rows {
+		p := r.Profile
+		if p == nil {
+			continue
+		}
+		b := p.MachineBuckets()
+		tot := float64(b.Total())
+		pc := func(v int64) string {
+			if tot == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.1f%%", 100*float64(v)/tot)
+		}
+		fmt.Fprintf(w, "  %-26s %8s %8s %8s %8s %8s %8s %8s %8s %12v\n",
+			r.Label, pc(b.ComputeNS), pc(b.TransitNS), pc(b.OccupancyNS), pc(b.ServiceNS),
+			pc(b.BarrierNS), pc(b.StallNS), pc(b.PresendNS), pc(b.IdleNS), sim.Time(p.Path.LengthNS))
 	}
 }
 

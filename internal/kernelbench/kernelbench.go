@@ -31,6 +31,7 @@ type Case struct {
 func Cases() []Case {
 	return append([]Case{
 		{"send_recv", benchSendRecv, true},
+		{"send_recv_profiled", benchSendRecvProfiled, true},
 		{"send_recv_chain", benchChain, true},
 		{"send_recv_burst64", benchBurst, true},
 		{"barrier8", benchBarrier, true},
@@ -53,14 +54,23 @@ type RatioGuard struct {
 	Max  float64
 }
 
-// RatioGuards returns the cross-case performance bounds. The single
-// guard today pins the conservative parallel engine's per-event overhead:
-// on the mesh workload the 4-worker engine may cost at most 1.1x the
-// serial engine even on a single-CPU host, so window-commit machinery can
-// never silently regress again.
+// RatioGuards returns the cross-case performance bounds.
+//
+// parallel_engine_overhead pins the conservative parallel engine's
+// per-event overhead: on the mesh workload the 4-worker engine may cost
+// at most 1.1x the serial engine even on a single-CPU host, so
+// window-commit machinery can never silently regress again.
+//
+// recorder_overhead pins the causal flight recorder's cost with the
+// recorder ON (ring push per binding wake plus attribution charging) at
+// 1.25x plain send_recv. Since the enabled recorder is bounded this
+// tightly, the disabled recorder — the same sites reduced to nil checks —
+// is necessarily a dead branch; the committed-baseline diff on send_recv
+// itself guards that directly.
 func RatioGuards() []RatioGuard {
 	return []RatioGuard{
 		{Name: "parallel_engine_overhead", Num: "mesh8_parallel4", Den: "mesh8_serial", Max: 1.1},
+		{Name: "recorder_overhead", Num: "send_recv_profiled", Den: "send_recv", Max: 1.25},
 	}
 }
 
@@ -79,6 +89,38 @@ func benchSendRecv(b *testing.B) {
 		}
 	})
 	k.Spawn("ping", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			p.Send(pong, msg, sim.Microsecond)
+			p.Recv()
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchSendRecvProfiled is benchSendRecv with the causal flight recorder
+// enabled and attribution slots attached: every delivery wake records an
+// edge into the pre-allocated ring and charges the woken Proc's slot.
+// Guarded zero-alloc — the recorder's steady state may not allocate —
+// and ratio-guarded against plain send_recv (recorder_overhead).
+func benchSendRecvProfiled(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.NewKernel()
+	k.EnableRecorder(1 << 16)
+	var slots [2]sim.AttrSlot
+	var msg any = new(struct{})
+	n := b.N
+	pong := k.Spawn("pong", func(p *sim.Proc) {
+		p.SetAttrSlot(&slots[0])
+		for i := 0; i < n; i++ {
+			d := p.Recv()
+			p.Send(d.From, msg, sim.Microsecond)
+		}
+	})
+	k.Spawn("ping", func(p *sim.Proc) {
+		p.SetAttrSlot(&slots[1])
 		for i := 0; i < n; i++ {
 			p.Send(pong, msg, sim.Microsecond)
 			p.Recv()

@@ -112,6 +112,17 @@ type Config struct {
 	// tables indexed by block index; blockstate.MapRef keeps the map-based
 	// reference implementation for differential testing.
 	Storage blockstate.Kind
+	// Profile enables the causal profiler: the kernel's flight recorder
+	// records every binding wake, every processor's simulated time is
+	// attributed into exact categories, and Machine.Profile assembles the
+	// critical path and attribution report after the run. Simulated
+	// results (fingerprints, metrics, goldens) are identical either way.
+	Profile bool
+	// ProfileCap overrides the flight recorder's edge capacity
+	// (default sim.DefaultRecorderCap). The recorder is a ring: a run
+	// emitting more binding wakes than the cap still profiles, but the
+	// critical-path walk is marked truncated.
+	ProfileCap int
 }
 
 // Chaos mutations accepted by Config.ChaosMutation.
@@ -165,6 +176,8 @@ type Machine struct {
 	ends       []sim.Time
 	ran        bool
 	phaseNames map[int]string
+	prof       []*nodeProf
+	workers    int
 }
 
 // New builds a machine for the given configuration.
@@ -252,10 +265,23 @@ func (m *Machine) Run(prog Program) error {
 		n.Peers = m.Nodes
 		m.Proto.Init(n)
 	}
+	if c.Profile {
+		m.Kernel.EnableRecorder(c.ProfileCap)
+		m.prof = make([]*nodeProf, c.Nodes)
+		for i := range m.prof {
+			m.prof[i] = &nodeProf{}
+		}
+	}
 	for _, n := range m.Nodes {
 		n := n
 		n.ProtoProc = m.Kernel.Spawn(fmt.Sprintf("proto%d", n.ID), n.ProtocolLoop)
 		n.ProtoProc.SetDaemon(true)
+		if m.prof != nil {
+			// The protocol processor's whole timeline lands in the node's
+			// proto slot; its on-CPU time is protocol service by definition.
+			n.ProtoProc.SetRunCat(sim.CatService)
+			n.ProtoProc.SetAttrSlot(&m.prof[n.ID].proto)
+		}
 	}
 	m.redBufs[0] = make([]float64, c.Nodes)
 	m.redBufs[1] = make([]float64, c.Nodes)
@@ -269,6 +295,11 @@ func (m *Machine) Run(prog Program) error {
 			prog(w)
 			m.ends[n.ID] = p.Now()
 		})
+		if m.prof != nil {
+			np := m.prof[n.ID]
+			n.Compute.SetAttrSlot(np.slot(-1))
+			n.Prof = np.slot
+		}
 	}
 	switch c.Engine {
 	case EngineSerial:
@@ -278,6 +309,7 @@ func (m *Machine) Run(prog Program) error {
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
 		}
+		m.workers = workers
 		// One lane per node: a node's compute and protocol processors
 		// share state (Store, Dir, Stats, metrics), so they must execute
 		// on the same lane. Spawn order is protos 0..N-1 then computes

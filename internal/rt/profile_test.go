@@ -1,0 +1,142 @@
+package rt
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"presto/internal/causal"
+)
+
+// profProgram is a small cross-node workload exercising phases, faults,
+// barriers and (under the predictive protocol) pre-sends.
+func profProgram(arr *Array1D, arrLen int) Program {
+	return func(w *Worker) {
+		for it := 0; it < 3; it++ {
+			w.Phase(1, func() {
+				lo, hi := w.Range(arrLen)
+				for i := lo; i < hi; i++ {
+					w.Compute(200)
+					v := w.ReadF64(arr.At((i+1)%arrLen, 0))
+					w.WriteF64(arr.At(i, 0), v+1)
+				}
+			})
+		}
+	}
+}
+
+func buildProf(t *testing.T, cfg Config) *Machine {
+	t.Helper()
+	m := New(cfg)
+	arr := m.NewArray1D("a", 16, 1, true)
+	m.NamePhase(1, "sweep")
+	if err := m.Run(profProgram(arr, 16)); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestProfileInvariant runs the workload under every protocol on both
+// engines and checks the load-bearing invariants: per-node buckets sum
+// exactly to the node's simulated time, and (serial) the critical-path
+// length equals the end-to-end elapsed time.
+func TestProfileInvariant(t *testing.T) {
+	for _, proto := range []ProtocolKind{ProtoStache, ProtoPredictive, ProtoUpdate} {
+		for _, eng := range []EngineKind{EngineSerial, EngineParallel} {
+			t.Run(string(proto)+"/"+string(eng), func(t *testing.T) {
+				m := buildProf(t, Config{Nodes: 4, BlockSize: 32, Protocol: proto, Engine: eng, Profile: true})
+				p, err := m.Profile("test")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := p.Validate(); err != nil {
+					t.Fatal(err)
+				}
+				if eng == EngineSerial && p.Path.LengthNS != int64(m.Elapsed()) {
+					t.Fatalf("critical path %d != elapsed %d", p.Path.LengthNS, int64(m.Elapsed()))
+				}
+				if eng == EngineParallel && p.Flight == nil {
+					t.Fatal("parallel run produced no engine flight record")
+				}
+			})
+		}
+	}
+}
+
+// TestProfileDoesNotPerturb checks that turning the profiler on changes
+// no simulated result: breakdowns, counters, metrics registry and the
+// kernel event statistics must be byte-identical.
+func TestProfileDoesNotPerturb(t *testing.T) {
+	base := buildProf(t, Config{Nodes: 4, BlockSize: 32, Protocol: ProtoPredictive})
+	prof := buildProf(t, Config{Nodes: 4, BlockSize: 32, Protocol: ProtoPredictive, Profile: true})
+	if !reflect.DeepEqual(base.Breakdown(), prof.Breakdown()) {
+		t.Errorf("breakdown changed with profiler on:\n%+v\n%+v", base.Breakdown(), prof.Breakdown())
+	}
+	if base.Counters() != prof.Counters() {
+		t.Errorf("counters changed with profiler on")
+	}
+	b1, _ := json.Marshal(base.Report())
+	b2, _ := json.Marshal(prof.Report())
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("metrics report changed with profiler on")
+	}
+}
+
+// TestProfileSerialParallelAgree checks the attribution itself is
+// engine-independent: the same workload profiled under both engines
+// yields identical per-node buckets and critical paths (the engine
+// flight record is the only parallel-specific addition).
+func TestProfileSerialParallelAgree(t *testing.T) {
+	ser := buildProf(t, Config{Nodes: 4, BlockSize: 32, Protocol: ProtoStache, Profile: true})
+	par := buildProf(t, Config{Nodes: 4, BlockSize: 32, Protocol: ProtoStache, Engine: EngineParallel, Profile: true})
+	ps, err := ser.Profile("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := par.Profile("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ps.PerNode, pp.PerNode) {
+		t.Errorf("per-node attribution differs across engines:\nserial   %+v\nparallel %+v", ps.PerNode, pp.PerNode)
+	}
+	pp.Path.Truncated = ps.Path.Truncated // identical by construction; explicit for clarity
+	if !reflect.DeepEqual(ps.Path, pp.Path) {
+		t.Errorf("critical path differs across engines")
+	}
+}
+
+// TestProfileJSONRoundTrip marshals a real profile and parses it back:
+// the profile.json schema must survive a round trip with nothing lost
+// (the contract internal/predict will rely on).
+func TestProfileJSONRoundTrip(t *testing.T) {
+	m := buildProf(t, Config{Nodes: 4, BlockSize: 32, Protocol: ProtoPredictive, Engine: EngineParallel, Profile: true})
+	p, err := m.Profile("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back causal.Profile
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped profile fails validation: %v", err)
+	}
+	raw2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, raw2) {
+		t.Fatal("profile.json round trip is lossy")
+	}
+	var render bytes.Buffer
+	p.Render(&render)
+	if render.Len() == 0 {
+		t.Fatal("Render produced no output")
+	}
+}

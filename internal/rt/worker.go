@@ -63,7 +63,9 @@ func (w *Worker) WriteU32(a memory.Addr, v uint32) { w.Node.WriteU32(w.P, a, v) 
 // Barrier joins the machine-wide barrier, accounting the wait as
 // synchronization time.
 func (w *Worker) Barrier() {
+	w.P.SetWaitCat(sim.CatBarrier)
 	wait := w.P.Wait(w.M.barrier)
+	w.P.SetWaitCat(sim.CatIdle)
 	w.Node.Stats.Sync += wait
 	if ps := w.Node.CurPhase(); ps != nil {
 		ps.SyncNS += int64(wait)
@@ -87,6 +89,7 @@ func (w *Worker) Phase(id int, body func()) {
 	w.beginPhase(id, iter)
 	pp, predictive := w.M.Proto.(tempest.PhaseProtocol)
 	if predictive {
+		w.P.SetWaitCat(sim.CatPresend)
 		pp.BeginPhase(w.Node, id)
 		if !first {
 			// Stabilization barrier after the pre-send (paper §3.4).
@@ -96,6 +99,7 @@ func (w *Worker) Phase(id int, body func()) {
 				ps.PresendNS += int64(wait)
 			}
 		}
+		w.P.SetWaitCat(sim.CatIdle)
 	}
 	body()
 	w.Barrier()
@@ -152,6 +156,7 @@ func (w *Worker) Directive(id int) {
 	if !ok {
 		return
 	}
+	w.P.SetWaitCat(sim.CatPresend)
 	pp.BeginPhase(w.Node, id)
 	if !first {
 		wait := w.P.Wait(w.M.barrier)
@@ -160,6 +165,7 @@ func (w *Worker) Directive(id int) {
 			ps.PresendNS += int64(wait)
 		}
 	}
+	w.P.SetWaitCat(sim.CatIdle)
 }
 
 // ParallelStep executes one data-parallel operation under the phase
@@ -276,12 +282,14 @@ func (w *Worker) Gather(addrs []memory.Addr) {
 		w.Node.Post(w.P, w.M.Nodes[home], tempest.MsgGetBulk{Blocks: blocks, Req: w.ID})
 		expect++
 	}
+	w.P.SetWaitCat(sim.CatStall)
 	for k := 0; k < expect; k++ {
 		w.Node.RecvCompute(w.P, func(m any) bool {
 			_, ok := m.(tempest.MsgGatherDone)
 			return ok
 		})
 	}
+	w.P.SetWaitCat(sim.CatIdle)
 	w.Node.Stats.RemoteWait += w.P.Now() - start
 }
 
@@ -293,7 +301,7 @@ func (w *Worker) Signal(dst, tag int) {
 	if dst == w.ID {
 		panic("rt: signal to self")
 	}
-	w.P.Advance(w.M.Cfg.Net.SendCost(m.PayloadBytes()))
+	w.P.AdvanceCat(w.M.Cfg.Net.SendCost(m.PayloadBytes()), sim.CatOccupancy)
 	w.P.Send(w.M.Nodes[dst].Compute, m, w.M.Cfg.Net.TransitDelay(m.PayloadBytes()))
 	w.Node.Stats.MsgsSent++
 	w.Node.Stats.BytesSent += int64(m.PayloadBytes() + w.M.Cfg.Net.HeaderBytes)
@@ -307,10 +315,12 @@ func (w *Worker) AwaitSignal() int {
 		return d.Msg.(tempest.MsgSignal).Tag
 	}
 	start := w.P.Now()
+	w.P.SetWaitCat(sim.CatBarrier)
 	d := w.Node.RecvCompute(w.P, func(m any) bool {
 		_, ok := m.(tempest.MsgSignal)
 		return ok
 	})
+	w.P.SetWaitCat(sim.CatIdle)
 	w.Node.Stats.Sync += w.P.Now() - start
 	return d.Msg.(tempest.MsgSignal).Tag
 }

@@ -70,6 +70,7 @@ func (k *Kernel) serialNext(self *Proc) dispatchOutcome {
 		e := k.sched.pop()
 		p := e.proc
 		at, kind, from, msg := e.at, e.kind, e.from, e.msg
+		posted, cause := e.posted, e.cause
 		k.pool.put(e)
 		if p.state == stateDone {
 			continue
@@ -81,11 +82,17 @@ func (k *Kernel) serialNext(self *Proc) dispatchOutcome {
 				panic("sim: resume of running proc")
 			}
 			if at > p.now {
+				if p.aslot != nil {
+					p.chargeWait(at - p.now)
+				}
+				if k.rec != nil {
+					p.resumeEdge(at, posted, p.now, from, cause)
+				}
 				p.now = at
 			}
 		case evDeliver:
 			k.deliveries++
-			p.mpush(Delivery{At: at, From: from, Msg: msg})
+			p.mpush(Delivery{At: at, Posted: posted, From: from, Msg: msg})
 			if p.state != stateBlockedRecv {
 				continue
 			}

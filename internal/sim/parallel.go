@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Conservative parallel execution.
@@ -76,6 +77,7 @@ type laneStep struct {
 	ev        *event
 	posts     []*event
 	effects   []func()
+	edges     []Edge // flight-recorder edges, flushed to the ring at commit
 	barrier   *Barrier
 	barrierAt Time
 	panicked  any
@@ -152,6 +154,7 @@ func (l *lane) newStep(e *event) *laneStep {
 	st.ev = e
 	st.posts = st.posts[:0]
 	st.effects = st.effects[:0]
+	st.edges = st.edges[:0]
 	st.barrier = nil // barrierAt is only read under a non-nil barrier
 	st.panicked = nil
 	st.skipped = false
@@ -162,9 +165,10 @@ func (l *lane) newStep(e *event) *laneStep {
 // destined for this lane inside the current window also enter the lane's
 // pending heap so they are processed before the window closes, exactly as
 // the serial engine would.
-func (l *lane) postLocal(at Time, kind eventKind, dst, from *Proc, msg any) {
+func (l *lane) postLocal(at Time, kind eventKind, dst, from *Proc, msg any, posted Time, cause uint8) {
 	e := l.pool.get()
 	e.at, e.kind, e.proc, e.from, e.msg = at, kind, dst, from, msg
+	e.posted, e.cause = posted, cause
 	e.fresh = true
 	e.seq = l.postKey
 	l.postKey++
@@ -210,10 +214,16 @@ func (l *lane) laneNext(self *Proc) dispatchOutcome {
 				panic("sim: resume of running proc")
 			}
 			if e.at > p.now {
+				if p.aslot != nil {
+					p.chargeWait(e.at - p.now)
+				}
+				if p.k.rec != nil {
+					p.resumeEdge(e.at, e.posted, p.now, e.from, e.cause)
+				}
 				p.now = e.at
 			}
 		case evDeliver:
-			p.mpush(Delivery{At: e.at, From: e.from, Msg: e.msg})
+			p.mpush(Delivery{At: e.at, Posted: e.posted, From: e.from, Msg: e.msg})
 			if p.state != stateBlockedRecv {
 				continue
 			}
@@ -282,7 +292,8 @@ func (l *lane) finishFrom(p *Proc) {
 type winExec struct {
 	k         *Kernel
 	lookahead Time
-	chain     bool // commit + reopen windows inline (serialized engine)
+	chain     bool          // commit + reopen windows inline (serialized engine)
+	eng       *EngineFlight // non-nil when the flight recorder is on
 
 	active    []*lane
 	order     []*lane // lane of each window event, in global (at, seq) pop order
@@ -302,6 +313,10 @@ func (x *winExec) open() error {
 	k := x.k
 	if k.MaxEvents > 0 && k.processed >= k.MaxEvents {
 		return &RunawayError{Events: k.processed, At: k.sched.peek().at}
+	}
+	var t0 time.Time
+	if x.eng != nil {
+		t0 = time.Now()
 	}
 	x.windowEnd = k.sched.peek().at + x.lookahead
 	x.active = x.active[:0]
@@ -323,6 +338,10 @@ func (x *winExec) open() error {
 		x.order = append(x.order, l)
 		x.pending++
 	}
+	if x.eng != nil {
+		x.eng.observe(len(x.active), x.pending)
+		x.eng.OpenNS += time.Since(t0).Nanoseconds()
+	}
 	return nil
 }
 
@@ -330,7 +349,14 @@ func (x *winExec) open() error {
 // It reports whether the run may continue; on a commit error or a
 // re-raised Proc panic the outcome is recorded on err/panicVal.
 func (x *winExec) close() bool {
+	var t0 time.Time
+	if x.eng != nil {
+		t0 = time.Now()
+	}
 	x.err, x.panicVal = x.k.commitWindow(x)
+	if x.eng != nil {
+		x.eng.CommitNS += time.Since(t0).Nanoseconds()
+	}
 	ok := x.err == nil && x.panicVal == nil
 	for _, l := range x.active {
 		if ok && l.next != len(l.steps) {
@@ -378,10 +404,16 @@ func (x *winExec) next(self *Proc) dispatchOutcome {
 						panic("sim: resume of running proc")
 					}
 					if e.at > p.now {
+						if p.aslot != nil {
+							p.chargeWait(e.at - p.now)
+						}
+						if p.k.rec != nil {
+							p.resumeEdge(e.at, e.posted, p.now, e.from, e.cause)
+						}
 						p.now = e.at
 					}
 				case evDeliver:
-					p.mpush(Delivery{At: e.at, From: e.from, Msg: e.msg})
+					p.mpush(Delivery{At: e.at, Posted: e.posted, From: e.from, Msg: e.msg})
 					if p.state != stateBlockedRecv {
 						continue
 					}
@@ -535,7 +567,10 @@ func (k *Kernel) RunParallel(cfg ParallelConfig) error {
 		}
 	}
 
-	wx := &winExec{k: k, lookahead: cfg.Lookahead}
+	if k.rec != nil {
+		k.eng = &EngineFlight{LaneHist: make([]int64, nlanes)}
+	}
+	wx := &winExec{k: k, lookahead: cfg.Lookahead, eng: k.eng}
 
 	if work == nil {
 		// Serialized engine: the baton chains across lanes and windows
@@ -574,6 +609,10 @@ func (k *Kernel) RunParallel(cfg ParallelConfig) error {
 			k.finished = true
 			return err
 		}
+		var t0 time.Time
+		if k.eng != nil {
+			t0 = time.Now()
+		}
 		if len(wx.active) == 1 {
 			wx.run1()
 		} else {
@@ -582,6 +621,9 @@ func (k *Kernel) RunParallel(cfg ParallelConfig) error {
 				work <- l
 			}
 			wg.Wait()
+		}
+		if k.eng != nil {
+			k.eng.ExecNS += time.Since(t0).Nanoseconds()
 		}
 		if !wx.close() {
 			k.finished = true
@@ -658,6 +700,11 @@ func (k *Kernel) commitWindow(x *winExec) (error, any) {
 				}
 				k.sched.push(pe)
 				qlen++
+			}
+			if k.rec != nil {
+				for _, ed := range st.edges {
+					k.rec.push(ed)
+				}
 			}
 			for _, fn := range st.effects {
 				fn()
@@ -743,6 +790,11 @@ func (k *Kernel) commitStep(l *lane, windowEnd Time, pending *int) (error, any) 
 			k.sched.push(pe)
 		}
 	}
+	if k.rec != nil {
+		for _, ed := range st.edges {
+			k.rec.push(ed)
+		}
+	}
 	for _, fn := range st.effects {
 		fn()
 	}
@@ -778,7 +830,7 @@ func (k *Kernel) applyArrival(st *laneStep, windowEnd Time) {
 			"sim: lookahead violation: barrier release at %v inside the window ending %v (barrier cost < lookahead)",
 			release, windowEnd))
 	}
-	k.releaseAll(b.waiters, p, release)
+	k.releaseAll(b.waiters, p, release, b.maxAt)
 	b.count = 0
 	b.maxAt = 0
 	b.waiters = b.waiters[:0]

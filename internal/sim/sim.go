@@ -91,9 +91,10 @@ func (s procState) String() string {
 // Delivery is a message as received: payload plus provenance and the
 // virtual time at which it arrived at the destination.
 type Delivery struct {
-	At   Time  // arrival time at the destination
-	From *Proc // sending Proc (nil for kernel-injected messages)
-	Msg  any   // payload
+	At     Time  // arrival time at the destination
+	Posted Time  // sender's clock when the message was sent
+	From   *Proc // sending Proc (nil for kernel-injected messages)
+	Msg    any   // payload
 }
 
 // Proc is a simulated sequential activity with its own virtual clock.
@@ -118,6 +119,12 @@ type Proc struct {
 	lane   *lane         // non-nil while running under the parallel engine
 	fn     func(*Proc)
 
+	// Time attribution (record.go). aslot == nil — the default — disables
+	// charging entirely; the hot paths then pay one nil check.
+	aslot   *AttrSlot
+	runCat  AttrCat // category charged by Advance
+	waitCat AttrCat // category charged by blocking-wake clock jumps
+
 	err      error // set if fn panicked
 	panicVal any
 }
@@ -133,10 +140,14 @@ func (p *Proc) Name() string { return p.name }
 func (p *Proc) Now() Time { return p.now }
 
 // Advance adds d to the Proc's virtual clock without yielding to the
-// kernel. Negative durations are ignored.
+// kernel. Negative durations are ignored. Under attribution the time is
+// charged to the Proc's running category (SetRunCat).
 func (p *Proc) Advance(d Time) {
 	if d > 0 {
 		p.now += d
+		if p.aslot != nil {
+			p.aslot[p.runCat] += d
+		}
 	}
 }
 
@@ -180,12 +191,18 @@ const (
 )
 
 type event struct {
-	at   Time
-	seq  uint64
-	kind eventKind
-	proc *Proc
-	from *Proc
-	msg  any
+	at     Time
+	posted Time // poster's clock when the event was scheduled
+	seq    uint64
+	kind   eventKind
+	proc   *Proc
+	from   *Proc
+	msg    any
+
+	// cause classifies evResume events for the flight recorder
+	// (record.go): causeTimer for Sleep expiries, causeBarrier for
+	// barrier releases, causeNone for the initial spawn resume.
+	cause uint8
 
 	// fresh marks an event posted during the current lookahead window of
 	// a parallel run: its seq is a provisional lane-local order key until
@@ -292,6 +309,11 @@ type Kernel struct {
 	deliveries int64
 	resumes    int64
 	maxQueue   int
+
+	// Causal profiling (record.go). Both are nil unless EnableRecorder
+	// ran; every hot-path hook guards on that nil.
+	rec *Recorder
+	eng *EngineFlight
 }
 
 // KernelStats is the kernel's own accounting: total events dispatched,
@@ -334,12 +356,13 @@ func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
 		panic("sim: Spawn during a parallel run")
 	}
 	p := &Proc{
-		k:      k,
-		id:     len(k.procs),
-		name:   name,
-		state:  stateNew,
-		resume: make(chan struct{}),
-		fn:     fn,
+		k:       k,
+		id:      len(k.procs),
+		name:    name,
+		state:   stateNew,
+		resume:  make(chan struct{}),
+		fn:      fn,
+		waitCat: CatIdle,
 	}
 	if k.started {
 		p.park = k.park
@@ -381,18 +404,22 @@ func (k *Kernel) post(e *event) {
 // as one scheduler batch with consecutive sequence numbers — event-for-
 // event identical to posting them individually, but the wake times are
 // precomputed up front and the wheel files the whole release with a single
-// bucket append instead of n pushes.
-func (k *Kernel) releaseAll(waiters []*Proc, self *Proc, at Time) {
+// bucket append instead of n pushes. posted is the last arrival time (the
+// release minus the barrier cost), carried for the flight recorder: the
+// release edge spans [posted, at] with the last arriver (self) as source.
+func (k *Kernel) releaseAll(waiters []*Proc, self *Proc, at, posted Time) {
 	es := k.batch[:0]
 	for _, w := range waiters {
 		e := k.pool.get()
 		e.at, e.kind, e.proc = at, evResume, w
+		e.from, e.posted, e.cause = self, posted, causeBarrier
 		e.seq = k.seq
 		k.seq++
 		es = append(es, e)
 	}
 	e := k.pool.get()
 	e.at, e.kind, e.proc = at, evResume, self
+	e.from, e.posted, e.cause = self, posted, causeBarrier
 	e.seq = k.seq
 	k.seq++
 	es = append(es, e)
@@ -404,14 +431,16 @@ func (k *Kernel) releaseAll(waiters []*Proc, self *Proc, at Time) {
 }
 
 // postFrom schedules an event on behalf of the running Proc p, routing it
-// through p's lane buffer under the parallel engine.
-func (p *Proc) postFrom(at Time, kind eventKind, dst, from *Proc, msg any) {
+// through p's lane buffer under the parallel engine. The poster's current
+// clock is stamped as the event's posted time (flight-recorder edges).
+func (p *Proc) postFrom(at Time, kind eventKind, dst, from *Proc, msg any, cause uint8) {
 	if l := p.lane; l != nil {
-		l.postLocal(at, kind, dst, from, msg)
+		l.postLocal(at, kind, dst, from, msg, p.now, cause)
 		return
 	}
 	e := p.k.pool.get()
 	e.at, e.kind, e.proc, e.from, e.msg = at, kind, dst, from, msg
+	e.posted, e.cause = p.now, cause
 	p.k.post(e)
 }
 
@@ -443,7 +472,7 @@ func (p *Proc) Send(dst *Proc, msg any, delay Time) {
 	if dst == nil {
 		panic("sim: send to nil proc")
 	}
-	p.postFrom(p.now+delay, evDeliver, dst, p, msg)
+	p.postFrom(p.now+delay, evDeliver, dst, p, msg, causeNone)
 }
 
 // SendAt schedules delivery of msg to dst at absolute virtual time at
@@ -452,13 +481,14 @@ func (p *Proc) SendAt(dst *Proc, msg any, at Time) {
 	if at < p.now {
 		panic("sim: SendAt into the past")
 	}
-	p.postFrom(at, evDeliver, dst, p, msg)
+	p.postFrom(at, evDeliver, dst, p, msg, causeNone)
 }
 
 // Recv blocks until a message is available and returns the earliest one.
 // If the message arrived while the Proc was busy, the Proc's clock is
 // unchanged (the message waited); otherwise the clock advances to the
-// arrival time.
+// arrival time — a binding delivery, recorded as a causal edge and
+// attributed (transit plus pre-post wait) when profiling is on.
 func (p *Proc) Recv() Delivery {
 	for p.mlen == 0 {
 		p.state = stateBlockedRecv
@@ -466,6 +496,13 @@ func (p *Proc) Recv() Delivery {
 	}
 	d := p.mpop()
 	if d.At > p.now {
+		if p.aslot != nil {
+			p.chargeRecv(d.At, d.Posted, p.now)
+		}
+		if p.k.rec != nil {
+			p.record(Edge{Kind: EdgeDeliver, Src: procID(d.From), Dst: int32(p.id),
+				At: d.At, Posted: d.Posted, Prev: p.now})
+		}
 		p.now = d.At
 	}
 	return d
@@ -478,23 +515,41 @@ func (p *Proc) TryRecv() (Delivery, bool) {
 	}
 	d := p.mpop()
 	if d.At > p.now {
+		if p.aslot != nil {
+			p.chargeRecv(d.At, d.Posted, p.now)
+		}
+		if p.k.rec != nil {
+			p.record(Edge{Kind: EdgeDeliver, Src: procID(d.From), Dst: int32(p.id),
+				At: d.At, Posted: d.Posted, Prev: p.now})
+		}
 		p.now = d.At
 	}
 	return d, true
+}
+
+// procID is the edge source id of a possibly-nil Proc.
+func procID(p *Proc) int32 {
+	if p == nil {
+		return -1
+	}
+	return int32(p.id)
 }
 
 // Pending reports the number of messages waiting in the Proc's mailbox.
 func (p *Proc) Pending() int { return p.mlen }
 
 // Sleep blocks the Proc until its clock reaches now+d, letting other
-// (earlier) events run meanwhile.
+// (earlier) events run meanwhile. Slept time is attributed to CatIdle.
 func (p *Proc) Sleep(d Time) {
 	if d <= 0 {
 		return
 	}
-	p.postFrom(p.now+d, evResume, p, nil, nil)
+	p.postFrom(p.now+d, evResume, p, p, nil, causeTimer)
 	p.state = stateSleeping // deliveries queue but do not wake a sleeper
+	save := p.waitCat
+	p.waitCat = CatIdle
 	p.yield()
+	p.waitCat = save
 }
 
 // Barrier synchronizes a fixed group of Procs. All participants block in
@@ -552,7 +607,7 @@ func (p *Proc) Wait(b *Barrier) Time {
 	// Last arrival: release everyone (including self) at maxAt+cost, as
 	// one batch — waiters in arrival order, then self.
 	release := b.maxAt + b.cost
-	p.k.releaseAll(b.waiters, p, release)
+	p.k.releaseAll(b.waiters, p, release, b.maxAt)
 	b.count = 0
 	b.maxAt = 0
 	b.waiters = b.waiters[:0]

@@ -121,6 +121,12 @@ type Node struct {
 	// Met is the node's metric instrument set (never nil).
 	Met *Metrics
 
+	// Prof, when non-nil, maps a phase ID (-1 = between phases) to the
+	// attribution slot the compute processor's time is charged into. The
+	// runtime installs it when causal profiling is on; BeginPhaseMetrics/
+	// EndPhaseMetrics switch the compute processor's slot through it.
+	Prof func(phase int) *sim.AttrSlot
+
 	// flowSeq counts this node's traced sends. Flow IDs are node-tagged
 	// (node ID in the high bits) so they are unique machine-wide without
 	// any cross-node shared counter — a requirement for the parallel
@@ -173,6 +179,9 @@ func (n *Node) BeginPhaseMetrics(id, iter int) {
 	n.curPhase = ps
 	n.phaseID = id
 	n.phaseIter = iter
+	if n.Prof != nil {
+		n.Compute.SetAttrSlot(n.Prof(id))
+	}
 }
 
 // EndPhaseMetrics leaves the current phase.
@@ -180,6 +189,9 @@ func (n *Node) EndPhaseMetrics() {
 	n.curPhase = nil
 	n.phaseID = -1
 	n.phaseIter = 0
+	if n.Prof != nil {
+		n.Compute.SetAttrSlot(n.Prof(-1))
+	}
 }
 
 // CurPhase returns the accumulator of the phase the compute processor is
@@ -301,7 +313,7 @@ func (n *Node) Post(src *sim.Proc, dst *Node, m Msg) {
 		src.OnCommit(func() { n.Trace.Record(ev) })
 	}
 	if dst == n {
-		src.Advance(n.Net.LocalOverhead)
+		src.AdvanceCat(n.Net.LocalOverhead, sim.CatOccupancy)
 		src.Send(n.ProtoProc, send, n.Net.LocalDelay)
 		return
 	}
@@ -309,7 +321,7 @@ func (n *Node) Post(src *sim.Proc, dst *Node, m Msg) {
 	// The *At cost variants apply seeded per-message jitter when the
 	// Params enable it (chaos testing); with jitter off they are exactly
 	// SendCost/TransitDelay.
-	src.Advance(n.Net.SendCostAt(payload, src.Now(), n.ID, dst.ID))
+	src.AdvanceCat(n.Net.SendCostAt(payload, src.Now(), n.ID, dst.ID), sim.CatOccupancy)
 	src.Send(dst.ProtoProc, send, n.Net.TransitDelayAt(payload, src.Now(), n.ID, dst.ID))
 	n.Stats.MsgsSent++
 	n.Stats.BytesSent += int64(payload + n.Net.HeaderBytes)
@@ -367,7 +379,7 @@ func (n *Node) FaultWaitBlock() (memory.Block, bool) { return n.waitBlock, n.wai
 // processor wakes it. Time spent is accounted as remote-data wait.
 func (n *Node) fault(p *sim.Proc, a memory.Addr, write bool) {
 	start := p.Now()
-	p.Advance(n.Net.FaultDetect)
+	p.AdvanceCat(n.Net.FaultDetect, sim.CatOccupancy)
 	b := n.AS.BlockOf(a)
 	if n.Trace != nil {
 		ev := trace.Event{
@@ -387,10 +399,12 @@ func (n *Node) fault(p *sim.Proc, a memory.Addr, write bool) {
 	if resolved {
 		n.waiting = false
 	} else {
+		p.SetWaitCat(sim.CatStall)
 		n.RecvCompute(p, func(m any) bool {
 			w, ok := m.(MsgWake)
 			return ok && w.Block == b
 		})
+		p.SetWaitCat(sim.CatIdle)
 	}
 	dt := p.Now() - start
 	n.Stats.RemoteWait += dt

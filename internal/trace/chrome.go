@@ -20,6 +20,7 @@ import (
 // deterministic for a deterministic simulation.
 type Chrome struct {
 	events []Event
+	path   []PathSeg
 }
 
 // NewChrome returns an empty Chrome trace buffer.
@@ -30,6 +31,28 @@ func (c *Chrome) Record(e Event) { c.events = append(c.events, e) }
 
 // Len reports the number of buffered events.
 func (c *Chrome) Len() int { return len(c.events) }
+
+// PathSeg is one critical-path segment for the overlay track: a span of
+// virtual time attributed to a processor ("run") or to the mechanism
+// that woke it ("deliver", "barrier", "timer").
+type PathSeg struct {
+	Name  string // processor name ("compute3", "proto1", "kernel")
+	Kind  string // "run", "deliver", "barrier" or "timer"
+	Start int64  // virtual ns
+	End   int64  // virtual ns
+}
+
+// critPid is the synthetic process id of the critical-path overlay
+// track (far above any real node id).
+const critPid = 1 << 20
+
+// SetCriticalPath installs the critical-path overlay: Write renders the
+// segments as a highlighted lane (its own process track) with flow
+// arrows chaining consecutive segments, so the path reads as one
+// causal chain across the trace.
+func (c *Chrome) SetCriticalPath(segs []PathSeg) {
+	c.path = append(c.path[:0], segs...)
+}
 
 // chromeEvent is one trace_event entry. Fields follow the trace-event
 // format spec; omitempty keeps instants compact. Dur is a pointer so a
@@ -163,6 +186,42 @@ func (c *Chrome) Write(w io.Writer) error {
 		for _, v := range out {
 			if err := emit(v); err != nil {
 				return err
+			}
+		}
+	}
+	if len(c.path) > 0 {
+		if err := emit(chromeEvent{Name: "process_name", Ph: "M", Pid: critPid,
+			Args: map[string]any{"name": "critical path"}}); err != nil {
+			return err
+		}
+		if err := emit(chromeEvent{Name: "thread_name", Ph: "M", Pid: critPid, Tid: 0,
+			Args: map[string]any{"name": "segments"}}); err != nil {
+			return err
+		}
+		for i, s := range c.path {
+			dur := jsonMicros(s.End - s.Start)
+			b := chromeEvent{
+				Name: fmt.Sprintf("%s %s", s.Name, s.Kind), Cat: "critpath", Ph: "X",
+				Pid: critPid, Tid: 0, Ts: jsonMicros(s.Start), Dur: &dur,
+				Args: map[string]any{"proc": s.Name, "kind": s.Kind},
+			}
+			if err := emit(b); err != nil {
+				return err
+			}
+			// Flow arrows chain consecutive segments into one causal line.
+			if i+1 < len(c.path) {
+				id := fmt.Sprintf("cp%d", i)
+				f := chromeEvent{Name: "critpath", Cat: "critpath", Ph: "s",
+					Pid: critPid, Tid: 0, Ts: jsonMicros(s.End), ID: id}
+				if err := emit(f); err != nil {
+					return err
+				}
+				nxt := c.path[i+1]
+				g := chromeEvent{Name: "critpath", Cat: "critpath", Ph: "f", BP: "e",
+					Pid: critPid, Tid: 0, Ts: jsonMicros(nxt.Start), ID: id}
+				if err := emit(g); err != nil {
+					return err
+				}
 			}
 		}
 	}

@@ -51,10 +51,16 @@ func (j *JSONL) Record(e Event) {
 	})
 }
 
+// Err reports the first write error encountered, letting callers detect
+// a failing stream before Close (e.g. to abort a long run early instead
+// of silently producing a truncated trace).
+func (j *JSONL) Err() error { return j.err }
+
 // Close flushes buffered lines and returns the first error encountered.
 func (j *JSONL) Close() error {
 	if j.err != nil {
 		return j.err
 	}
-	return j.w.Flush()
+	j.err = j.w.Flush()
+	return j.err
 }

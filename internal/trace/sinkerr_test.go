@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"presto/internal/sim"
+)
+
+// failWriter fails every write after the first n bytes.
+type failWriter struct {
+	n       int
+	written int
+}
+
+var errDisk = errors.New("disk full")
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.written+len(p) > f.n {
+		ok := f.n - f.written
+		if ok < 0 {
+			ok = 0
+		}
+		f.written += ok
+		return ok, errDisk
+	}
+	f.written += len(p)
+	return len(p), nil
+}
+
+// TestJSONLSurfacesWriteError checks that a failing writer is not
+// silently swallowed: the sticky error is visible via Err during the
+// run and returned by Close.
+func TestJSONLSurfacesWriteError(t *testing.T) {
+	j := NewJSONL(&failWriter{n: 16})
+	// Enough events to overflow the 16-byte budget and the bufio buffer.
+	e := Event{At: 1, Node: 0, Kind: Send, What: strings.Repeat("x", 2048)}
+	for i := 0; i < 8 && j.Err() == nil; i++ {
+		j.Record(e)
+	}
+	if j.Err() == nil {
+		t.Fatal("Err() did not surface the write failure")
+	}
+	if err := j.Close(); !errors.Is(err, errDisk) {
+		t.Fatalf("Close returned %v, want the underlying write error", err)
+	}
+}
+
+// TestJSONLSurfacesFlushError checks the flush-at-Close path: writes
+// that fit the buffer fail only when Close flushes.
+func TestJSONLSurfacesFlushError(t *testing.T) {
+	j := NewJSONL(&failWriter{n: 4})
+	j.Record(Event{At: 1, Node: 0, Kind: Send, What: "small"})
+	if err := j.Close(); !errors.Is(err, errDisk) {
+		t.Fatalf("Close returned %v, want the underlying flush error", err)
+	}
+}
+
+// TestChromeSurfacesWriteError checks Chrome.Write propagates writer
+// failures instead of producing a silently truncated trace.
+func TestChromeSurfacesWriteError(t *testing.T) {
+	c := NewChrome()
+	for i := 0; i < 64; i++ {
+		c.Record(Event{At: sim.Time(i), Node: i % 4, Kind: Fault, What: "block"})
+	}
+	if err := c.Write(&failWriter{n: 64}); !errors.Is(err, errDisk) {
+		t.Fatalf("Write returned %v, want the underlying write error", err)
+	}
+}
+
+// TestChromeCriticalPathOverlay checks the overlay track renders: a
+// dedicated process with one span per segment and flow arrows chaining
+// them.
+func TestChromeCriticalPathOverlay(t *testing.T) {
+	c := NewChrome()
+	c.Record(Event{At: 10, Node: 0, Kind: Fault, What: "block"})
+	c.SetCriticalPath([]PathSeg{
+		{Name: "compute0", Kind: "run", Start: 0, End: 100},
+		{Name: "compute0", Kind: "deliver", Start: 100, End: 150},
+		{Name: "compute1", Kind: "run", Start: 150, End: 170},
+	})
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"critical path"`, // overlay process name
+		`"compute0 run"`,  // span names
+		`"compute0 deliver"`,
+		`"compute1 run"`,
+		`"ph":"s"`, `"ph":"f"`, // flow arrows
+		`"id":"cp0"`, `"id":"cp1"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("overlay output missing %s", want)
+		}
+	}
+}
