@@ -5,7 +5,7 @@
 // Usage:
 //
 //	dsmrun -app adaptive|barnes|water [-protocol stache|predictive|update]
-//	       [-nodes N] [-block B] [-net cm5|now|hwdsm] [-spmd] [-splash] [-size N] [-iters N]
+//	       [-nodes N] [-block B] [-net cm5|now|hwdsm|cluster:<g>x<c>] [-spmd] [-splash] [-size N] [-iters N]
 //	       [-metrics out.json] [-metrics-out out.json]
 //	       [-profile] [-profile-out profile.json]
 //	       [-trace-out t.json] [-trace-format chrome|jsonl]
@@ -60,7 +60,7 @@ func main() {
 	protocol := flag.String("protocol", "stache", "coherence protocol")
 	nodes := flag.Int("nodes", 32, "simulated node count")
 	block := flag.Int("block", 32, "cache block size in bytes")
-	netName := flag.String("net", "cm5", "interconnect preset: cm5, now or hwdsm")
+	netName := flag.String("net", "cm5", "interconnect preset: cm5, now, hwdsm or cluster:<groups>x<cores>")
 	size := flag.Int("size", 0, "problem size (mesh edge / bodies / molecules); 0 = paper size")
 	iters := flag.Int("iters", 0, "iterations; 0 = paper count")
 	spmd := flag.Bool("spmd", false, "barnes: hand-optimized SPMD baseline (use -protocol update)")
@@ -202,12 +202,18 @@ func main() {
 			out = f
 		}
 		rep := m.Report()
+		rep.Exec = m.ExecInfo()
 		if err := writeJSON(out, rep); err != nil {
 			fatal(err)
 		}
 	}
 
 	fmt.Printf("%s on %d nodes, %dB blocks, %s protocol\n", *app, *nodes, *block, *protocol)
+	if m != nil && mc.Engine == rt.EngineParallel {
+		ei := m.ExecInfo()
+		fmt.Printf("  engine            parallel: %d workers over %d lanes, %s lookahead\n",
+			ei.Workers, ei.Lanes, ei.Lookahead)
+	}
 	fmt.Printf("  execution time    %v\n", b.Elapsed)
 	fmt.Printf("  remote-data wait  %v\n", b.RemoteWait)
 	fmt.Printf("  pre-send          %v\n", b.Presend)

@@ -3,12 +3,13 @@
 // Usage:
 //
 //	paperbench [-experiment all|table1|figure4|figure5|figure6|figure7|sweep|ablate-*]
-//	           [-list] [-scale quick|paper] [-net cm5|now|hwdsm]
+//	           [-list] [-scale quick|paper] [-net cm5|now|hwdsm|cluster:<g>x<c>]
 //	           [-csv out.csv] [-json out.json]
 //	           [-engine serial|parallel] [-workers N] [-sched wheel|heap]
 //	           [-profile]
 //	           [-kernel-bench out.json] [-kernel-filter re]
 //	           [-kernel-diff base.json] [-kernel-diff-out diff.json]
+//	           [-kernel-speedup]
 //	           [-cpuprofile f] [-memprofile f]
 //
 // -json (default BENCH_results.json; "" disables) writes every
@@ -40,8 +41,13 @@
 // skips the figure5 wall-clock comparison — the CI regression diff uses
 // it to keep the job fast. -kernel-diff compares the fresh run against a
 // committed BENCH_kernel.json and fails on a >25% ns/op regression in
-// any guarded case; -kernel-diff-out writes the comparison as a JSON
-// artifact.
+// any guarded case; when the baseline was taken on a different host shape
+// (NumCPU or GOMAXPROCS differ) the ns/op gating is skipped — wall-clock
+// ratios across hosts are noise — while the zero-alloc guards still
+// apply. -kernel-diff-out writes the comparison as a JSON artifact.
+// -kernel-speedup additionally evaluates the multi-core speedup guards
+// (parallel dense cases must beat their serial twins by >= 2x); CI runs
+// it in the bench-multicore job at GOMAXPROCS=4.
 package main
 
 import (
@@ -67,7 +73,7 @@ func main() {
 	expID := flag.String("experiment", "all", "experiment ID or 'all'")
 	list := flag.Bool("list", false, "list experiment IDs with descriptions and exit")
 	scaleStr := flag.String("scale", "quick", "workload scale: quick or paper")
-	netName := flag.String("net", "", "override the default interconnect preset (cm5, now or hwdsm); experiments with per-row presets keep them")
+	netName := flag.String("net", "", "override the default interconnect preset (cm5, now, hwdsm or cluster:<groups>x<cores>); experiments with per-row presets keep them")
 	csvPath := flag.String("csv", "", "also write rows as CSV to this file")
 	jsonPath := flag.String("json", "BENCH_results.json", "write machine-readable results to this file (\"\" disables)")
 	engine := flag.String("engine", "serial", "kernel engine: serial or parallel")
@@ -76,7 +82,8 @@ func main() {
 	profile := flag.Bool("profile", false, "enable the causal profiler on the figure experiments: rows gain a validated attribution profile, rendered after the phase tables and exported in -json")
 	kernelBench := flag.String("kernel-bench", "", "run kernel micro-benchmarks, write JSON to this file and exit")
 	kernelFilter := flag.String("kernel-filter", "", "run only kernel benchmark cases matching this `regexp` (skips the figure5 wall-clock comparison)")
-	kernelDiff := flag.String("kernel-diff", "", "compare the kernel benchmark run against this baseline JSON; fail on >25% ns/op regression in guarded cases")
+	kernelDiff := flag.String("kernel-diff", "", "compare the kernel benchmark run against this baseline JSON; fail on >25% ns/op regression in guarded cases (ns/op gating is skipped when the baseline host shape differs)")
+	kernelSpeedup := flag.Bool("kernel-speedup", false, "evaluate the multi-core speedup guards (kernelbench.SpeedupGuards); requires a multi-core host — CI runs this at GOMAXPROCS=4")
 	kernelDiffOut := flag.String("kernel-diff-out", "", "write the -kernel-diff comparison as JSON to this file")
 	kernelBase := flag.String("kernel-bench-baseline", "", "embed this `go test -bench` output as the baseline section")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -120,6 +127,7 @@ func main() {
 			filter:       *kernelFilter,
 			diffPath:     *kernelDiff,
 			diffOutPath:  *kernelDiffOut,
+			speedup:      *kernelSpeedup,
 			opts:         opts,
 		}
 		if err := kb.run(); err != nil {
@@ -214,6 +222,11 @@ type kernelBenchDoc struct {
 	// evaluated on this run; a guard whose cases were filtered out is
 	// omitted rather than evaluated on stale numbers.
 	Ratios []ratioResult `json:"ratios,omitempty"`
+	// Speedups are the multi-core wall-clock guards
+	// (kernelbench.SpeedupGuards), recorded only under -kernel-speedup:
+	// a single-CPU host cannot show parallel speedup, so the guards are
+	// opt-in rather than part of every run.
+	Speedups []speedupResult `json:"speedups,omitempty"`
 }
 
 type ratioResult struct {
@@ -223,6 +236,15 @@ type ratioResult struct {
 	Ratio float64 `json:"ratio"`
 	Max   float64 `json:"max"`
 	OK    bool    `json:"ok"`
+}
+
+type speedupResult struct {
+	Name     string  `json:"name"`
+	Parallel string  `json:"parallel"`
+	Serial   string  `json:"serial"`
+	Speedup  float64 `json:"speedup"` // serial ns/op ÷ parallel ns/op
+	Min      float64 `json:"min"`
+	OK       bool    `json:"ok"`
 }
 
 type microResult struct {
@@ -253,6 +275,7 @@ type kernelBenchRun struct {
 	filter       string // optional case-name regexp
 	diffPath     string // optional baseline JSON to diff against
 	diffOutPath  string // optional diff artifact path
+	speedup      bool   // evaluate SpeedupGuards (multi-core hosts only)
 	opts         harness.Options
 }
 
@@ -342,6 +365,37 @@ func (kb *kernelBenchRun) run() error {
 		fmt.Printf("ratio %-22s %s/%s = %.3f (max %.2f) %s\n", g.Name, g.Num, g.Den, rr.Ratio, g.Max, status)
 	}
 
+	// Multi-core speedup guards, opt-in: they assert wall-clock scaling,
+	// which only a multi-core host can deliver. Filtered-out cases are
+	// skipped like the ratio guards.
+	if kb.speedup {
+		evaluated := 0
+		for _, g := range kernelbench.SpeedupGuards() {
+			par, okP := nsOf(g.Parallel)
+			ser, okS := nsOf(g.Serial)
+			if !okP || !okS {
+				continue
+			}
+			evaluated++
+			sr := speedupResult{Name: g.Name, Parallel: g.Parallel, Serial: g.Serial,
+				Speedup: ser / par, Min: g.MinSpeedup}
+			sr.OK = sr.Speedup >= g.MinSpeedup
+			doc.Speedups = append(doc.Speedups, sr)
+			status := "ok"
+			if !sr.OK {
+				status = "FAIL"
+				gateFailures = append(gateFailures,
+					fmt.Sprintf("%s: %s runs %.2fx faster than %s (want >= %.1fx; GOMAXPROCS=%d)",
+						g.Name, g.Parallel, sr.Speedup, g.Serial, g.MinSpeedup, runtime.GOMAXPROCS(0)))
+			}
+			fmt.Printf("speedup %-20s %s/%s = %.2fx (min %.1fx) %s\n",
+				g.Name, g.Serial, g.Parallel, sr.Speedup, g.MinSpeedup, status)
+		}
+		if evaluated == 0 {
+			return fmt.Errorf("-kernel-speedup: the filter %q excludes every speedup-guarded case", kb.filter)
+		}
+	}
+
 	if kb.filter == "" {
 		fig5, err := kb.figure5()
 		if err != nil {
@@ -415,10 +469,17 @@ func (kb *kernelBenchRun) figure5() (*figure5Result, error) {
 // kernelDiffDoc is the -kernel-diff-out artifact: the per-case ns/op
 // comparison between a committed baseline and the fresh run.
 type kernelDiffDoc struct {
-	BaselinePath string          `json:"baseline_path"`
-	MaxRegress   float64         `json:"max_regress"` // allowed fractional ns/op growth on guarded cases
-	Cases        []kernelDiffRow `json:"cases"`
-	Failures     []string        `json:"failures,omitempty"`
+	BaselinePath string `json:"baseline_path"`
+	// HostMatch is false when the baseline was taken on a different host
+	// shape (NumCPU or GOMAXPROCS differ). ns/op ratios between different
+	// hosts are noise, so the regression gate is skipped — the comparison
+	// rows are still recorded, and the zero-alloc guards (host-independent)
+	// apply either way.
+	HostMatch  bool            `json:"host_match"`
+	Note       string          `json:"note,omitempty"`
+	MaxRegress float64         `json:"max_regress"` // allowed fractional ns/op growth on guarded cases
+	Cases      []kernelDiffRow `json:"cases"`
+	Failures   []string        `json:"failures,omitempty"`
 }
 
 type kernelDiffRow struct {
@@ -452,7 +513,14 @@ func (kb *kernelBenchRun) diff(doc *kernelBenchDoc) ([]string, error) {
 	for _, m := range base.Micro {
 		baseNs[m.Name] = m.NsPerOp
 	}
-	out := kernelDiffDoc{BaselinePath: kb.diffPath, MaxRegress: kernelDiffMaxRegress}
+	out := kernelDiffDoc{BaselinePath: kb.diffPath, HostMatch: true, MaxRegress: kernelDiffMaxRegress}
+	if base.Host.NumCPU != doc.Host.NumCPU || base.Host.GOMAXPROCS != doc.Host.GOMAXPROCS {
+		out.HostMatch = false
+		out.Note = fmt.Sprintf(
+			"baseline host %d CPU / GOMAXPROCS %d, this host %d / %d: ns/op regression gating skipped (alloc guards still apply)",
+			base.Host.NumCPU, base.Host.GOMAXPROCS, doc.Host.NumCPU, doc.Host.GOMAXPROCS)
+		fmt.Printf("kernel-diff: %s\n", out.Note)
+	}
 	for _, m := range doc.Micro {
 		bns, ok := baseNs[m.Name]
 		if !ok || bns <= 0 {
@@ -465,7 +533,7 @@ func (kb *kernelBenchRun) diff(doc *kernelBenchDoc) ([]string, error) {
 			Change:   m.NsPerOp/bns - 1,
 			Guarded:  m.Guarded,
 		}
-		row.Regression = row.Guarded && row.Change > kernelDiffMaxRegress
+		row.Regression = out.HostMatch && row.Guarded && row.Change > kernelDiffMaxRegress
 		if row.Regression {
 			out.Failures = append(out.Failures, fmt.Sprintf(
 				"%s: %.1f ns/op vs baseline %.1f (%+.1f%%, bound +%.0f%%)",

@@ -116,16 +116,25 @@ type PathProfile struct {
 // histograms are deterministic; the *WallNS timers are wall-clock and
 // vary run to run (they never feed fingerprints or goldens).
 type EngineProfile struct {
-	Workers      int     `json:"workers"`
-	LookaheadNS  int64   `json:"lookahead_ns"`
-	Windows      int64   `json:"windows"`
-	Events       int64   `json:"events"`
-	SoloWindows  int64   `json:"solo_windows"`
-	LaneHist     []int64 `json:"lane_hist"`
-	EventHist    []int64 `json:"event_hist"`
-	OpenWallNS   int64   `json:"open_wall_ns"`
-	ExecWallNS   int64   `json:"exec_wall_ns"`
-	CommitWallNS int64   `json:"commit_wall_ns"`
+	Workers int `json:"workers"`
+	// Lanes is the engine's lane count; Lookahead names the window
+	// derivation ("pair" or "global").
+	Lanes     int    `json:"lanes,omitempty"`
+	Lookahead string `json:"lookahead,omitempty"`
+	// LookaheadNS is the executed window width: the pair matrix's
+	// narrowest row under "pair", the interconnect's global minimum
+	// latency under "global".
+	LookaheadNS   int64   `json:"lookahead_ns"`
+	Windows       int64   `json:"windows"`
+	Events        int64   `json:"events"`
+	SoloWindows   int64   `json:"solo_windows"`
+	MergedWindows int64   `json:"merged_windows"`
+	Steals        int64   `json:"steals"`
+	LaneHist      []int64 `json:"lane_hist"`
+	EventHist     []int64 `json:"event_hist"`
+	OpenWallNS    int64   `json:"open_wall_ns"`
+	ExecWallNS    int64   `json:"exec_wall_ns"`
+	CommitWallNS  int64   `json:"commit_wall_ns"`
 }
 
 // Profile is the profile.json artifact (see DESIGN.md §10 for the full
@@ -318,6 +327,11 @@ func (p *Profile) Render(w io.Writer) {
 	if f := p.Flight; f != nil {
 		fmt.Fprintf(w, "\nparallel engine: %d windows, %d events (%.1f events/window), %d solo-lane windows (%.1f%%)\n",
 			f.Windows, f.Events, avg(f.Events, f.Windows), f.SoloWindows, pct(f.SoloWindows, f.Windows))
+		if f.Lanes > 0 {
+			fmt.Fprintf(w, "  %d lanes, %s lookahead %v; %d merged-commit windows (%.1f%%), %d steals\n",
+				f.Lanes, orDefault(f.Lookahead, "global"), sim.Time(f.LookaheadNS),
+				f.MergedWindows, pct(f.MergedWindows, f.Windows), f.Steals)
+		}
 		fmt.Fprintf(w, "  active lanes per window:")
 		for i, c := range f.LaneHist {
 			if c != 0 {

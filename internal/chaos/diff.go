@@ -21,6 +21,13 @@ func comboKey(p rt.ProtocolKind, e rt.EngineKind) string {
 	return string(p) + "/" + string(e)
 }
 
+// engineMutation reports whether a named defect lives in the parallel
+// engine (rather than a protocol): such mutations are injected only into
+// parallel runs.
+func engineMutation(name string) bool {
+	return name == rt.MutationStealReverseRun
+}
+
 // SeedResult is the differential oracle's verdict on one seed.
 type SeedResult struct {
 	Seed int64 `json:"seed"`
@@ -59,7 +66,14 @@ func RunSeed(seed int64, o Options) SeedResult {
 	for _, p := range protocols {
 		var fps [2]Fingerprint
 		for i, e := range engines {
-			fp := Execute(res.Spec, p, e, o.Mutation, o.MaxEvents)
+			// Engine mutations target the parallel engine only: the
+			// serial run stays the honest reference the divergence is
+			// measured against.
+			mut := o.Mutation
+			if engineMutation(mut) && e != rt.EngineParallel {
+				mut = ""
+			}
+			fp := Execute(res.Spec, p, e, mut, o.MaxEvents)
 			res.Runs[comboKey(p, e)] = fp
 			fps[i] = fp
 			if fp.Err != "" {

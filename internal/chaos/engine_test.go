@@ -1,0 +1,81 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"presto/internal/rt"
+)
+
+// TestEngineLookaheadBand is the multi-core engine's fingerprint band:
+// 200 seeds, each run serially and then under the parallel engine with
+// {global, pair} lookahead × {1, 4} workers (clamped to the derived lane
+// count). Every combination must produce a fingerprint byte-identical to
+// the serial reference. Roughly a third of the derived shapes carry a
+// cluster:<g>x2 interconnect, exercising lane coarsening and the widened
+// cross-group windows.
+func TestEngineLookaheadBand(t *testing.T) {
+	const maxEvents = 5_000_000
+	protos := []rt.ProtocolKind{rt.ProtoStache, rt.ProtoPredictive}
+	clustered := 0
+	for seed := int64(0); seed < 200; seed++ {
+		s := Derive(seed, ScaleQuick)
+		if strings.HasPrefix(s.Net, "cluster:") {
+			clustered++
+		}
+		proto := protos[seed%2]
+		serial := Execute(s, proto, rt.EngineSerial, "", maxEvents)
+		if serial.Err != "" {
+			t.Fatalf("seed %d (%s): serial run errored: %s", seed, s, serial.Err)
+		}
+		for _, la := range []rt.LookaheadKind{rt.LookaheadGlobal, rt.LookaheadPair} {
+			for _, workers := range []int{1, 4} {
+				fp := ExecuteEngine(s, proto, EngineConfig{Workers: workers, Lookahead: la}, maxEvents)
+				if d := serial.diff(fp); len(d) > 0 {
+					t.Fatalf("seed %d (%s) %s workers=%d diverged from serial: %v",
+						seed, s, la, workers, d)
+				}
+			}
+		}
+	}
+	if clustered == 0 {
+		t.Fatal("band derived no clustered interconnects; the pair matrix went unexercised")
+	}
+}
+
+// TestEngineNoStealIdentity: the work-stealing ablation may change which
+// worker executes a lane, never the outcome.
+func TestEngineNoStealIdentity(t *testing.T) {
+	const maxEvents = 5_000_000
+	for seed := int64(0); seed < 40; seed++ {
+		s := Derive(seed, ScaleQuick)
+		steal := ExecuteEngine(s, rt.ProtoPredictive, EngineConfig{Workers: 4}, maxEvents)
+		noSteal := ExecuteEngine(s, rt.ProtoPredictive, EngineConfig{Workers: 4, NoSteal: true}, maxEvents)
+		if d := steal.diff(noSteal); len(d) > 0 {
+			t.Fatalf("seed %d (%s): stealing changed the outcome: %v", seed, s, d)
+		}
+	}
+}
+
+// TestStealReverseRunMutationCaught injects the engine defect — window
+// runs executed tail-first, the ordering property work stealing must
+// preserve — and requires the differential oracle to catch and shrink
+// it. The serial reference stays honest; only parallel runs are mutated.
+func TestStealReverseRunMutationCaught(t *testing.T) {
+	rep := Fuzz(Options{Seeds: 60, Mutation: rt.MutationStealReverseRun})
+	if rep.Ok() {
+		t.Fatalf("mutation %s not caught over %d seeds", rt.MutationStealReverseRun, rep.SeedsRun)
+	}
+	f := rep.Failures[0]
+	if !f.MinResult.Failed() {
+		t.Fatal("shrunk reproducer does not fail")
+	}
+	if !strings.Contains(f.Repro, "-mutate "+rt.MutationStealReverseRun) {
+		t.Errorf("repro command incomplete: %s", f.Repro)
+	}
+	// The printed reproducer must actually reproduce.
+	o := Options{Mutation: rt.MutationStealReverseRun, Caps: f.Min}
+	if r := RunSeed(f.Seed, o); !r.Failed() {
+		t.Errorf("repro seed %d with caps %+v does not fail", f.Seed, f.Min)
+	}
+}

@@ -13,7 +13,10 @@
 // exactly on any host, under either simulation engine.
 package chaos
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // rng is a splitmix64 generator — small, fast, and stable across Go
 // versions (unlike math/rand, whose stream is not guaranteed).
@@ -165,8 +168,12 @@ func DeriveCapped(seed int64, scale Scale, c Caps) Spec {
 	s.Nodes = r.between(2, maxNodes)
 	// Hardware-assisted DSM weighted up: its sub-microsecond handler
 	// occupancies are the regime where protocol messages overtake the
-	// payload-carrying grants they chase (the deferral races).
-	s.Net = []string{"cm5", "now", "hwdsm", "hwdsm"}[r.intn(4)]
+	// payload-carrying grants they chase (the deferral races). The
+	// "cluster" entry is a sentinel clamp() materializes into a concrete
+	// cluster:<groups>x2 shape once the final node count is known — the
+	// two-level topology exercises the parallel engine's pair-matrix
+	// lookahead and lane coarsening.
+	s.Net = []string{"cm5", "now", "hwdsm", "hwdsm", "cluster", "cluster"}[r.intn(6)]
 	s.BlockSize = []int{32, 64, 128, 256}[r.intn(4)]
 	s.Iters = r.between(2, maxIters)
 	s.JitterPct = []int{0, 5, 10, 25}[r.intn(4)]
@@ -241,6 +248,17 @@ func (s Spec) clamp(c Caps) Spec {
 	}
 	if s.FlushID >= len(s.Phases) {
 		s.FlushID = -1
+	}
+	// Materialize the cluster sentinel against the final node count:
+	// groups of two whenever the nodes tile, the flat hwdsm preset
+	// otherwise. Matching the "cluster:" prefix too keeps re-clamping an
+	// already-materialized spec (the shrinker tightening Nodes) coherent.
+	if s.Net == "cluster" || strings.HasPrefix(s.Net, "cluster:") {
+		if s.Nodes >= 4 && s.Nodes%2 == 0 {
+			s.Net = fmt.Sprintf("cluster:%dx2", s.Nodes/2)
+		} else {
+			s.Net = "hwdsm"
+		}
 	}
 	return s
 }

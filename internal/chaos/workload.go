@@ -100,6 +100,25 @@ func ExecuteSched(s Spec, proto rt.ProtocolKind, engine rt.EngineKind, sched rt.
 	return execute(s, proto, engine, "", maxEvents, "", sched)
 }
 
+// EngineConfig pins the parallel engine's execution knobs for a
+// differential run: worker count, lookahead derivation, and the
+// work-stealing ablation. The zero value is the engine's default.
+type EngineConfig struct {
+	Workers   int
+	Lookahead rt.LookaheadKind
+	NoSteal   bool
+}
+
+// ExecuteEngine runs the spec on the parallel engine with explicit
+// engine knobs and fingerprints the outcome. The requested worker count
+// is clamped to the spec's lane count (a clustered interconnect coarsens
+// lanes to node groups), so band tests can sweep fixed worker counts
+// across arbitrary derived shapes.
+func ExecuteEngine(s Spec, proto rt.ProtocolKind, ec EngineConfig, maxEvents int64) Fingerprint {
+	fp, _ := runEngine(s, proto, rt.EngineParallel, "", maxEvents, &ec)
+	return fp
+}
+
 // ExecuteProfiled is Execute with the causal profiler enabled. It
 // returns the fingerprint — which must equal Execute's, since profiling
 // may not perturb the simulation — plus the assembled profile, already
@@ -128,23 +147,56 @@ func execute(s Spec, proto rt.ProtocolKind, engine rt.EngineKind, mutation strin
 // run executes the spec and returns the machine alongside the
 // fingerprint (nil when the run itself errored).
 func run(s Spec, proto rt.ProtocolKind, engine rt.EngineKind, mutation string, maxEvents int64, storage blockstate.Kind, sched rt.SchedKind, profile bool) (Fingerprint, *rt.Machine) {
+	cfg := rt.Config{
+		Nodes:     s.Nodes,
+		BlockSize: s.BlockSize,
+		Protocol:  proto,
+		Engine:    engine,
+		MaxEvents: maxEvents, ChaosMutation: mutation,
+		Storage: storage,
+		Sched:   sched,
+		Profile: profile,
+	}
+	return runConfigured(s, cfg)
+}
+
+// runEngine is run with explicit parallel-engine knobs.
+func runEngine(s Spec, proto rt.ProtocolKind, engine rt.EngineKind, mutation string, maxEvents int64, ec *EngineConfig) (Fingerprint, *rt.Machine) {
+	cfg := rt.Config{
+		Nodes:     s.Nodes,
+		BlockSize: s.BlockSize,
+		Protocol:  proto,
+		Engine:    engine,
+		MaxEvents: maxEvents, ChaosMutation: mutation,
+	}
+	if ec != nil {
+		cfg.Lookahead = ec.Lookahead
+		cfg.NoSteal = ec.NoSteal
+		cfg.Workers = ec.Workers
+	}
+	return runConfigured(s, cfg)
+}
+
+func runConfigured(s Spec, cfg rt.Config) (Fingerprint, *rt.Machine) {
 	base, err := network.Preset(s.Net)
 	if err != nil {
 		panic(err) // derivation only emits known presets
 	}
 	net := base.WithJitter(s.JitterPct, uint64(s.Seed))
-	m := rt.New(rt.Config{
-		Nodes:         s.Nodes,
-		BlockSize:     s.BlockSize,
-		Protocol:      proto,
-		Engine:        engine,
-		Net:           net,
-		MaxEvents:     maxEvents,
-		ChaosMutation: mutation,
-		Storage:       storage,
-		Sched:         sched,
-		Profile:       profile,
-	})
+	cfg.Net = net
+	// Clamp an explicit worker request to the machine's lane count: a
+	// clustered interconnect coarsens lanes to node groups, and the band
+	// tests sweep fixed worker counts over arbitrary derived shapes.
+	if cfg.Engine == rt.EngineParallel && cfg.Workers > 0 {
+		lanes := s.Nodes
+		if net.Clustered() {
+			lanes = s.Nodes / net.GroupSize
+		}
+		if cfg.Workers > lanes {
+			cfg.Workers = lanes
+		}
+	}
+	m := rt.New(cfg)
 	wl := buildWorkload(m, s)
 	var fp Fingerprint
 	if err := m.Run(wl.program(s)); err != nil {

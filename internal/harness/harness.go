@@ -44,8 +44,13 @@ type Options struct {
 	Scale Scale
 	// Engine is the kernel execution strategy (default rt.EngineSerial).
 	Engine rt.EngineKind
-	// Workers caps parallel-engine workers (default GOMAXPROCS).
+	// Workers caps parallel-engine workers (0 = auto).
 	Workers int
+	// Lookahead selects the parallel engine's window derivation
+	// (default rt.LookaheadPair); results are byte-identical across kinds.
+	Lookahead rt.LookaheadKind
+	// NoSteal disables the parallel engine's deterministic work stealing.
+	NoSteal bool
 	// Sched selects the kernel's event scheduler (default rt.SchedWheel).
 	Sched rt.SchedKind
 	// Net, when non-nil, overrides the default interconnect for
@@ -69,6 +74,8 @@ func (o Options) withDefaults() Options {
 func (o Options) machine(c rt.Config) rt.Config {
 	c.Engine = o.Engine
 	c.Workers = o.Workers
+	c.Lookahead = o.Lookahead
+	c.NoSteal = o.NoSteal
 	c.Sched = o.Sched
 	c.Profile = o.Profile
 	if c.Net == nil && o.Net != nil {

@@ -11,6 +11,8 @@ package network
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"presto/internal/sim"
 )
@@ -55,6 +57,24 @@ type Params struct {
 	// JitterSeed salts the jitter hash; distinct seeds explore distinct
 	// message orderings.
 	JitterSeed uint64
+
+	// GroupSize, when >= 2, arranges the machine as a two-level cluster:
+	// node IDs [k*GroupSize, (k+1)*GroupSize) share physical cluster node
+	// k, and messages between them cross the intra-node fabric
+	// (IntraWireLatency/IntraPerByteWire) instead of the top-level wire.
+	// Software costs (send/recv overheads, per-byte copies) are charged
+	// uniformly — only transit depends on the pair. 0 or 1 means a flat
+	// machine and leaves every existing preset byte-identical.
+	GroupSize int
+	// Groups pins the expected group count when positive (the
+	// cluster:<nodes>x<cores> preset sets it); rt.Machine.Run validates
+	// the simulated node count against Groups*GroupSize.
+	Groups int
+	// IntraWireLatency is the transit time of a minimal intra-group
+	// message (required positive when GroupSize >= 2).
+	IntraWireLatency sim.Time
+	// IntraPerByteWire is the intra-group fabric occupancy per byte.
+	IntraPerByteWire sim.Time
 }
 
 // Validate rejects configurations that would panic or hang downstream:
@@ -89,6 +109,23 @@ func (p *Params) Validate() error {
 	}
 	if p.JitterPct < 0 || p.JitterPct >= 100 {
 		return fmt.Errorf("network: JitterPct = %d, must be in [0,100)", p.JitterPct)
+	}
+	if p.GroupSize < 0 {
+		return fmt.Errorf("network: GroupSize = %d, must be non-negative", p.GroupSize)
+	}
+	if p.Groups < 0 {
+		return fmt.Errorf("network: Groups = %d, must be non-negative", p.Groups)
+	}
+	if p.Clustered() {
+		if p.IntraWireLatency <= 0 {
+			return fmt.Errorf("network: IntraWireLatency = %v, must be positive on a clustered machine",
+				p.IntraWireLatency)
+		}
+		if p.IntraPerByteWire < 0 {
+			return fmt.Errorf("network: IntraPerByteWire = %v, must be non-negative", p.IntraPerByteWire)
+		}
+	} else if p.Groups > 1 {
+		return fmt.Errorf("network: Groups = %d needs GroupSize >= 2 (got %d)", p.Groups, p.GroupSize)
 	}
 	if p.MinLatency() <= 0 {
 		return fmt.Errorf("network: MinLatency() = %v, must be positive", p.MinLatency())
@@ -162,8 +199,34 @@ func HardwareDSM() *Params {
 	})
 }
 
+// Cluster returns a two-level machine: `groups` cluster nodes of `cores`
+// simulated nodes each. Nodes sharing a cluster node communicate over a
+// hardware-DSM-class intra-node fabric; distinct cluster nodes over the
+// CM-5-class top-level network. Software messaging costs stay CM-5-like
+// regardless of destination (the messaging layer is the same code path) —
+// only the wire differs, which is exactly the asymmetry the parallel
+// engine's per-lane-pair lookahead exploits: cross-group windows stretch
+// to the top-level transit delay instead of collapsing to the intra-node
+// minimum.
+func Cluster(groups, cores int) (*Params, error) {
+	if groups < 1 || cores < 2 {
+		return nil, fmt.Errorf("network: cluster needs >= 1 groups of >= 2 cores (got %dx%d)", groups, cores)
+	}
+	if groups*cores > 4096 {
+		return nil, fmt.Errorf("network: cluster %dx%d exceeds 4096 nodes", groups, cores)
+	}
+	p := *CM5()
+	p.Groups = groups
+	p.GroupSize = cores
+	p.IntraWireLatency = 600 * sim.Nanosecond
+	p.IntraPerByteWire = 3 * sim.Nanosecond
+	return mustValid(&p), nil
+}
+
 // Preset returns the named parameter preset — the shared vocabulary of
-// the -net command-line flags and the chaos derivation.
+// the -net command-line flags and the chaos derivation. Besides the fixed
+// presets it accepts the parameterized form cluster:<groups>x<cores>
+// (e.g. cluster:4x8 = 32 simulated nodes on 4 cluster nodes).
 func Preset(name string) (*Params, error) {
 	switch name {
 	case "cm5":
@@ -173,7 +236,18 @@ func Preset(name string) (*Params, error) {
 	case "hwdsm":
 		return HardwareDSM(), nil
 	}
-	return nil, fmt.Errorf("network: unknown preset %q (want cm5, now or hwdsm)", name)
+	if shape, ok := strings.CutPrefix(name, "cluster:"); ok {
+		gs, cs, ok := strings.Cut(shape, "x")
+		if ok {
+			g, err1 := strconv.Atoi(gs)
+			c, err2 := strconv.Atoi(cs)
+			if err1 == nil && err2 == nil {
+				return Cluster(g, c)
+			}
+		}
+		return nil, fmt.Errorf("network: malformed cluster preset %q (want cluster:<groups>x<cores>)", name)
+	}
+	return nil, fmt.Errorf("network: unknown preset %q (want cm5, now, hwdsm or cluster:<groups>x<cores>)", name)
 }
 
 // SendCost returns the sender CPU occupancy for a message with the given
@@ -183,19 +257,74 @@ func (p *Params) SendCost(payload int) sim.Time {
 }
 
 // TransitDelay returns the in-flight delay for a message with the given
-// payload size (header included).
+// payload size (header included) over the top-level network.
 func (p *Params) TransitDelay(payload int) sim.Time {
 	return p.WireLatency + sim.Time(payload+p.HeaderBytes)*p.PerByteWire
 }
 
+// intraTransit is the in-flight delay over the intra-group fabric.
+func (p *Params) intraTransit(payload int) sim.Time {
+	return p.IntraWireLatency + sim.Time(payload+p.HeaderBytes)*p.IntraPerByteWire
+}
+
+// Clustered reports whether the machine is a two-level cluster (nodes
+// grouped onto shared cluster nodes with a distinct intra fabric).
+func (p *Params) Clustered() bool { return p.GroupSize >= 2 }
+
+// GroupOf returns the cluster node hosting a simulated node (the node's
+// own ID on a flat machine).
+func (p *Params) GroupOf(node int) int {
+	if !p.Clustered() {
+		return node
+	}
+	return node / p.GroupSize
+}
+
+// SameGroup reports whether two nodes share a cluster node.
+func (p *Params) SameGroup(i, j int) bool {
+	return p.Clustered() && i/p.GroupSize == j/p.GroupSize
+}
+
+// TransitDelayPair returns the in-flight delay between a specific pair of
+// nodes: the intra-group fabric when they share a cluster node, the
+// top-level network otherwise. Identical to TransitDelay on flat machines.
+func (p *Params) TransitDelayPair(payload, src, dst int) sim.Time {
+	if p.SameGroup(src, dst) {
+		return p.intraTransit(payload)
+	}
+	return p.TransitDelay(payload)
+}
+
+// PairMinLatency returns the smallest virtual-time gap between an action
+// on node i and its earliest possible effect on node j: the lesser of the
+// pair's minimal transit delay (empty payload) and the barrier release
+// cost (barriers synchronize all nodes regardless of topology). This is
+// the per-lane-pair lookahead matrix the parallel engine uses to open
+// windows: a lane whose nearest neighbor is across the top-level network
+// gets a window as wide as the top-level transit, not the global minimum.
+func (p *Params) PairMinLatency(i, j int) sim.Time {
+	min := p.TransitDelayPair(0, i, j)
+	if p.BarrierLatency < min {
+		min = p.BarrierLatency
+	}
+	return min
+}
+
 // MinLatency returns the smallest virtual-time gap between an action on
-// one node and its earliest possible effect on another node: the lesser of
-// the minimal message transit delay (empty payload, header only) and the
-// barrier release cost. It is the safe lookahead for conservative parallel
-// simulation (sim.ParallelConfig.Lookahead): within a window narrower than
-// MinLatency, nodes cannot affect each other.
+// one node and its earliest possible effect on another node, over all
+// pairs: the lesser of the minimal message transit delay (empty payload,
+// header only; the intra-group fabric when clustered) and the barrier
+// release cost. It is the safe global lookahead for conservative parallel
+// simulation (sim.ParallelConfig.Lookahead): within a window narrower
+// than MinLatency, nodes cannot affect each other. PairMinLatency refines
+// this bound per pair.
 func (p *Params) MinLatency() sim.Time {
 	min := p.TransitDelay(0)
+	if p.Clustered() {
+		if d := p.intraTransit(0); d < min {
+			min = d
+		}
+	}
 	if p.BarrierLatency < min {
 		min = p.BarrierLatency
 	}

@@ -62,6 +62,23 @@ func (p *Params) TransitDelayAt(payload int, now sim.Time, src, dst int) sim.Tim
 	return d
 }
 
+// TransitDelayPairAt is TransitDelayAt's topology-aware variant: the
+// jittered pair transit is clamped below at that pair's minimal transit
+// (empty payload), so a jittered message can never undercut the
+// per-lane-pair lookahead (PairMinLatency) the parallel engine derives
+// from these Params. Clamping at the global MinLatency would not be
+// enough on a clustered machine: the intra-node minimum is far below the
+// cross-node floor the pair matrix promises. On flat presets the pair
+// floor equals TransitDelay(0) == MinLatency(), so this is byte-identical
+// to TransitDelayAt there.
+func (p *Params) TransitDelayPairAt(payload int, now sim.Time, src, dst int) sim.Time {
+	d := p.jitter(p.TransitDelayPair(payload, src, dst), now, src, dst, payload)
+	if min := p.TransitDelayPair(0, src, dst); d < min {
+		d = min
+	}
+	return d
+}
+
 // WithJitter returns a copy of p with the given jitter configuration
 // (percent magnitude and hash seed).
 func (p *Params) WithJitter(pct int, seed uint64) *Params {

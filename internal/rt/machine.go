@@ -54,6 +54,26 @@ const (
 	EngineParallel EngineKind = "parallel"
 )
 
+// LookaheadKind selects how the parallel engine derives its conservative
+// windows from the interconnect.
+type LookaheadKind string
+
+const (
+	// LookaheadPair (default) derives a per-lane-pair lookahead matrix
+	// from the interconnect topology: a lane pair's bound is the minimum
+	// cost of any message between their node groups. On a clustered
+	// interconnect lanes are whole groups and every lane pair crosses
+	// groups, so windows are bounded by the (large) top-level transit
+	// instead of the (small) intra-group minimum. On flat interconnects
+	// every pair collapses to the global minimum latency, making this
+	// byte-identical to LookaheadGlobal.
+	LookaheadPair LookaheadKind = "pair"
+	// LookaheadGlobal is the legacy scalar bound — the interconnect's
+	// global minimum latency — kept as a differential reference for the
+	// pair matrix.
+	LookaheadGlobal LookaheadKind = "global"
+)
+
 // SchedKind selects the kernel's pending-event scheduler.
 type SchedKind string
 
@@ -96,9 +116,21 @@ type Config struct {
 	FlushEvery int
 	// Engine selects the kernel execution strategy (default EngineSerial).
 	Engine EngineKind
-	// Workers caps the worker goroutines of the parallel engine
-	// (default GOMAXPROCS). Ignored for EngineSerial.
+	// Workers caps the worker goroutines of the parallel engine. 0 means
+	// auto: GOMAXPROCS clamped to the machine's lane count. Negative
+	// values and values beyond the lane count are configuration errors
+	// (Run reports them). Ignored for EngineSerial.
 	Workers int
+	// Lookahead selects how the parallel engine bounds its conservative
+	// windows (default LookaheadPair). Results are byte-identical across
+	// kinds; the pair matrix only widens windows. Ignored for
+	// EngineSerial.
+	Lookahead LookaheadKind
+	// NoSteal disables deterministic work stealing between the parallel
+	// engine's workers (each worker then executes only the lanes it
+	// owns). Results are byte-identical either way; this is a
+	// performance ablation knob.
+	NoSteal bool
 	// Sched selects the kernel's pending-event scheduler (default
 	// SchedWheel). SchedHeap keeps the reference heap for differential
 	// testing; results are byte-identical either way.
@@ -130,6 +162,10 @@ const (
 	// MutationStacheSkipDeferral disables Stache's cache-side deferral of
 	// invalidations/recalls that overtake the data grant they chase.
 	MutationStacheSkipDeferral = "stache-skip-deferral"
+	// MutationStealReverseRun makes the parallel engine execute each
+	// lane's initial window run tail-first, breaking the execution-order
+	// guarantee work stealing must preserve. Requires EngineParallel.
+	MutationStealReverseRun = "steal-reverse-run"
 )
 
 func (c *Config) withDefaults() Config {
@@ -178,6 +214,8 @@ type Machine struct {
 	phaseNames map[int]string
 	prof       []*nodeProf
 	workers    int
+	lanes      int
+	lookahead  sim.Time // executed window width (parallel engine)
 }
 
 // New builds a machine for the given configuration.
@@ -230,8 +268,28 @@ func (m *Machine) Run(prog Program) error {
 	if err := c.Net.Validate(); err != nil {
 		return fmt.Errorf("rt: bad interconnect parameters: %w", err)
 	}
-	if c.ChaosMutation != "" && c.ChaosMutation != MutationStacheSkipDeferral {
+	switch c.ChaosMutation {
+	case "", MutationStacheSkipDeferral:
+	case MutationStealReverseRun:
+		if c.Engine != EngineParallel {
+			return fmt.Errorf("rt: mutation %q targets the parallel engine, machine runs %q", c.ChaosMutation, c.Engine)
+		}
+	default:
 		return fmt.Errorf("rt: unknown chaos mutation %q", c.ChaosMutation)
+	}
+	switch c.Lookahead {
+	case "", LookaheadPair, LookaheadGlobal:
+	default:
+		return fmt.Errorf("rt: unknown lookahead kind %q (want pair or global)", c.Lookahead)
+	}
+	if c.Net.Clustered() {
+		if c.Nodes%c.Net.GroupSize != 0 {
+			return fmt.Errorf("rt: %d nodes do not tile into groups of %d", c.Nodes, c.Net.GroupSize)
+		}
+		if c.Net.Groups > 0 && c.Nodes != c.Net.Groups*c.Net.GroupSize {
+			return fmt.Errorf("rt: interconnect describes %d nodes (%dx%d), machine has %d",
+				c.Net.Groups*c.Net.GroupSize, c.Net.Groups, c.Net.GroupSize, c.Nodes)
+		}
 	}
 	switch c.Sched {
 	case SchedWheel:
@@ -305,24 +363,83 @@ func (m *Machine) Run(prog Program) error {
 	case EngineSerial:
 		return m.Kernel.Run()
 	case EngineParallel:
-		workers := c.Workers
-		if workers <= 0 {
-			workers = runtime.GOMAXPROCS(0)
+		// A lane is the unit of concurrent execution. On a flat
+		// interconnect each node is a lane: a node's compute and protocol
+		// processors share state (Store, Dir, Stats, metrics), so they
+		// must execute on the same lane. On a clustered interconnect the
+		// lane is a whole node group — coarsening to the interconnect
+		// partition makes every lane pair cross-group, so the pair
+		// lookahead matrix bounds windows by the (large) top-level
+		// transit instead of the intra-group minimum.
+		gsize := 1
+		if c.Net.Clustered() {
+			gsize = c.Net.GroupSize
+		}
+		lanes := c.Nodes / gsize
+		workers, err := effectiveWorkers(c.Workers, lanes)
+		if err != nil {
+			return err
 		}
 		m.workers = workers
-		// One lane per node: a node's compute and protocol processors
-		// share state (Store, Dir, Stats, metrics), so they must execute
-		// on the same lane. Spawn order is protos 0..N-1 then computes
-		// N..2N-1, so ID mod Nodes maps both of node i's procs to lane i.
-		return m.Kernel.RunParallel(sim.ParallelConfig{
-			Workers:   workers,
-			Lookahead: c.Net.MinLatency(),
-			Lanes:     c.Nodes,
-			LaneOf:    func(p *sim.Proc) int { return p.ID() % c.Nodes },
-		})
+		m.lanes = lanes
+		// Spawn order is protos 0..N-1 then computes N..2N-1, so ID mod
+		// Nodes maps both of node i's procs to node i, and dividing by
+		// the group size folds a group's nodes onto one lane.
+		pcfg := sim.ParallelConfig{
+			Workers:           workers,
+			Lanes:             lanes,
+			LaneOf:            func(p *sim.Proc) int { return (p.ID() % c.Nodes) / gsize },
+			NoSteal:           c.NoSteal,
+			MutateReverseRuns: c.ChaosMutation == MutationStealReverseRun,
+		}
+		switch {
+		case lanes == 1:
+			// One lane has no cross-lane hazards; any positive window is
+			// conservative. The barrier cost is a comfortably wide one.
+			pcfg.Lookahead = c.Net.BarrierLatency
+		case c.Lookahead == LookaheadGlobal:
+			pcfg.Lookahead = c.Net.MinLatency()
+		default:
+			pcfg.PairLookahead = func(i, j int) sim.Time {
+				return c.Net.PairMinLatency(i*gsize, j*gsize)
+			}
+			// The executed width is the matrix's narrowest row. Every
+			// lane pair of a clustered machine crosses groups (uniform
+			// cost); on a flat one the matrix collapses to the global
+			// minimum.
+			if c.Net.Clustered() {
+				m.lookahead = c.Net.PairMinLatency(0, gsize)
+			} else {
+				m.lookahead = c.Net.MinLatency()
+			}
+		}
+		if pcfg.Lookahead > 0 {
+			m.lookahead = pcfg.Lookahead
+		}
+		return m.Kernel.RunParallel(pcfg)
 	default:
 		return fmt.Errorf("rt: unknown engine %q", c.Engine)
 	}
+}
+
+// effectiveWorkers resolves the requested parallel-engine worker count
+// against the machine's lane count. 0 means auto (GOMAXPROCS clamped to
+// the lane count); negative requests and requests beyond the lane count
+// are configuration errors — workers execute lanes, so the surplus could
+// never run.
+func effectiveWorkers(req, lanes int) (int, error) {
+	switch {
+	case req < 0:
+		return 0, fmt.Errorf("rt: negative worker count %d (0 means auto)", req)
+	case req > lanes:
+		return 0, fmt.Errorf("rt: %d workers exceed the machine's %d lanes (workers execute lanes; use 0 for auto)", req, lanes)
+	case req == 0:
+		req = runtime.GOMAXPROCS(0)
+		if req > lanes {
+			req = lanes
+		}
+	}
+	return req, nil
 }
 
 // Elapsed returns the machine's execution time: the latest compute
@@ -520,6 +637,45 @@ type MetricsReport struct {
 	Phases    []PhaseStat       `json:"phases"`
 	Kernel    sim.KernelStats   `json:"kernel"`
 	Registry  *metrics.Snapshot `json:"registry"`
+	// Exec carries host- and engine-dependent execution facts. It is NOT
+	// filled by Report — the deterministic body above must stay
+	// byte-identical across engines and hosts — callers that want it
+	// (dsmrun -metrics) attach Machine.ExecInfo() explicitly.
+	Exec *ExecInfo `json:"exec,omitempty"`
+}
+
+// ExecInfo describes how the engine actually executed a run: effective
+// worker and lane counts plus host shape. These facts vary across hosts
+// and engine configurations while the simulated results do not, so they
+// are kept out of Report's deterministic body.
+type ExecInfo struct {
+	Engine     string `json:"engine"`
+	Workers    int    `json:"workers,omitempty"`
+	Lanes      int    `json:"lanes,omitempty"`
+	Lookahead  string `json:"lookahead,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// ExecInfo reports the engine execution facts for the completed run.
+func (m *Machine) ExecInfo() *ExecInfo {
+	e := &ExecInfo{
+		Engine:     string(m.Cfg.Engine),
+		Workers:    m.workers,
+		Lanes:      m.lanes,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	if e.Engine == "" {
+		e.Engine = string(EngineSerial)
+	}
+	if m.Cfg.Engine == EngineParallel {
+		e.Lookahead = string(m.Cfg.Lookahead)
+		if e.Lookahead == "" {
+			e.Lookahead = string(LookaheadPair)
+		}
+	}
+	return e
 }
 
 // Report assembles the metrics export. Call after Run.

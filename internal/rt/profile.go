@@ -103,17 +103,25 @@ func (m *Machine) Profile(app string) (*causal.Profile, error) {
 		for len(hist) > 0 && hist[len(hist)-1] == 0 {
 			hist = hist[:len(hist)-1]
 		}
+		kind := string(m.Cfg.Lookahead)
+		if kind == "" {
+			kind = string(LookaheadPair)
+		}
 		p.Flight = &causal.EngineProfile{
-			Workers:      m.workers,
-			LookaheadNS:  int64(m.Cfg.Net.MinLatency()),
-			Windows:      f.Windows,
-			Events:       f.Events,
-			SoloWindows:  f.SoloWindows,
-			LaneHist:     append([]int64(nil), f.LaneHist...),
-			EventHist:    append([]int64(nil), hist...),
-			OpenWallNS:   f.OpenNS,
-			ExecWallNS:   f.ExecNS,
-			CommitWallNS: f.CommitNS,
+			Workers:       m.workers,
+			Lanes:         m.lanes,
+			Lookahead:     kind,
+			LookaheadNS:   int64(m.lookahead),
+			Windows:       f.Windows,
+			Events:        f.Events,
+			SoloWindows:   f.SoloWindows,
+			MergedWindows: f.MergedWindows,
+			Steals:        f.Steals,
+			LaneHist:      append([]int64(nil), f.LaneHist...),
+			EventHist:     append([]int64(nil), hist...),
+			OpenWallNS:    f.OpenNS,
+			ExecWallNS:    f.ExecNS,
+			CommitWallNS:  f.CommitNS,
 		}
 	}
 	return p, nil

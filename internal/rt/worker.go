@@ -302,7 +302,7 @@ func (w *Worker) Signal(dst, tag int) {
 		panic("rt: signal to self")
 	}
 	w.P.AdvanceCat(w.M.Cfg.Net.SendCost(m.PayloadBytes()), sim.CatOccupancy)
-	w.P.Send(w.M.Nodes[dst].Compute, m, w.M.Cfg.Net.TransitDelay(m.PayloadBytes()))
+	w.P.Send(w.M.Nodes[dst].Compute, m, w.M.Cfg.Net.TransitDelayPair(m.PayloadBytes(), w.ID, dst))
 	w.Node.Stats.MsgsSent++
 	w.Node.Stats.BytesSent += int64(m.PayloadBytes() + w.M.Cfg.Net.HeaderBytes)
 }

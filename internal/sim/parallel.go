@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -57,8 +58,30 @@ type ParallelConfig struct {
 
 	// Lookahead is the conservative window width: a strict lower bound on
 	// the virtual-time delay of any cross-lane interaction (message or
-	// barrier release). Must be positive. See network.Params.MinLatency.
+	// barrier release). Must be positive unless PairLookahead refines it.
+	// See network.Params.MinLatency.
 	Lookahead Time
+
+	// PairLookahead, when non-nil, replaces the scalar Lookahead with a
+	// per-lane-pair matrix: an event executing on lane i at time t cannot
+	// schedule work on lane j (i != j) before t + PairLookahead(i, j).
+	// Lane j's causal horizon is then T + rowMin[j], rowMin[j] = min over
+	// i of PairLookahead(i, j) — its earliest possible foreign influence.
+	// The executed window is [T, T + min over j of rowMin[j]): committing
+	// ragged per-lane windows would interleave OnCommit effects out of
+	// global (timestamp, sequence) order, so the widest *uniform* window
+	// the matrix allows is used. That is exactly where the matrix pays
+	// off: lanes partitioned so that every pair crosses a slow link (e.g.
+	// cluster nodes over a top-level network) get windows as wide as that
+	// slow link, not the machine-wide minimum that intra-node traffic
+	// would impose. The per-lane horizons are still enforced
+	// individually: the commit panics on any cross-lane post inside the
+	// *target* lane's horizon, a stricter detector than the executed
+	// window. Every entry must be positive; the diagonal is never
+	// consulted. A barrier releasing lanes must also respect the matrix
+	// (fold the barrier cost into each entry: network.Params.PairMinLatency
+	// does). Ignored when Lanes <= 1.
+	PairLookahead func(i, j int) Time
 
 	// Lanes is the number of lanes; LaneOf maps each Proc to a lane in
 	// [0, Lanes). Procs that share mutable simulated state must map to
@@ -67,6 +90,20 @@ type ParallelConfig struct {
 	// purely through messages delayed by at least Lookahead.
 	Lanes  int
 	LaneOf func(p *Proc) int
+
+	// NoSteal disables deterministic work stealing in the worker pool:
+	// each worker executes only the lanes it owns (active-lane positions
+	// congruent to its index). Results are byte-identical either way —
+	// stealing only changes which OS thread executes a lane — so this
+	// exists for differential testing and overhead measurement.
+	NoSteal bool
+
+	// MutateReverseRuns is a chaos mutation hook: reverse the initial
+	// event order of every lane except lane 0 in each window, so lanes
+	// execute their window events tail-first. This breaks the engine's
+	// execution-order invariant on purpose; the differential oracles must
+	// detect the divergence. Never set outside mutation testing.
+	MutateReverseRuns bool
 }
 
 // laneStep records one event processed by a lane inside a window: the
@@ -103,6 +140,7 @@ type lane struct {
 	stopped   bool     // a step panicked; stop executing this window
 	inWin     int      // fresh posts that landed inside this window
 	wex       *winExec // non-nil while this window runs serialized (baton crosses lanes)
+	claim     uint32   // CAS-claimed by the worker that executes this window (pool mode)
 }
 
 // laneBefore orders a lane's window events: by timestamp, then established
@@ -290,23 +328,39 @@ func (l *lane) finishFrom(p *Proc) {
 // err/panicVal). The commit still runs single-threaded in global order on
 // whichever goroutine holds the baton, so its semantics are unchanged.
 type winExec struct {
-	k         *Kernel
-	lookahead Time
-	chain     bool          // commit + reopen windows inline (serialized engine)
-	eng       *EngineFlight // non-nil when the flight recorder is on
+	k      *Kernel
+	width  Time          // executed window width (scalar, or the matrix's min row)
+	rowMin []Time        // per-lane causal horizons for violation checks (nil = scalar)
+	chain  bool          // commit + reopen windows inline (serialized engine)
+	eng    *EngineFlight // non-nil when the flight recorder is on
 
 	active    []*lane
 	order     []*lane // lane of each window event, in global (at, seq) pop order
 	idx       int
-	windowEnd Time
-	pending   int // window events handed to lanes, not yet committed
+	base      Time // window start T (earliest pending event when opened)
+	windowEnd Time // executed window bound T + width
+	pending   int  // window events handed to lanes, not yet committed
+	reverse   bool // chaos mutation: execute lanes' window runs tail-first
 
 	err      error
 	panicVal any // a Proc-body panic re-raised by the commit
 	fault    any // a commit-machinery panic (lookahead violation, divergence)
 }
 
-// open claims the next conservative window [T, T+lookahead): it checks the
+// laneEnd returns lane l's causal horizon for this window: T plus its row
+// minimum of the pair-lookahead matrix, or the uniform scalar bound. A
+// cross-lane post below this is a lookahead violation even when it lands
+// past the (narrower) executed window. Valid for inactive lanes too — the
+// commit checks posts against the *target* lane's horizon, whether or not
+// that lane woke this round.
+func (x *winExec) laneEnd(l *lane) Time {
+	if x.rowMin == nil {
+		return x.windowEnd
+	}
+	return x.base + x.rowMin[l.id]
+}
+
+// open claims the next conservative window [T, T+width): it checks the
 // runaway guard, then moves every queued event inside the window onto its
 // lane's pending heap. The scheduler must be non-empty.
 func (x *winExec) open() error {
@@ -318,7 +372,8 @@ func (x *winExec) open() error {
 	if x.eng != nil {
 		t0 = time.Now()
 	}
-	x.windowEnd = k.sched.peek().at + x.lookahead
+	x.base = k.sched.peek().at
+	x.windowEnd = x.base + x.width
 	x.active = x.active[:0]
 	x.order = x.order[:0]
 	x.idx = 0
@@ -337,6 +392,20 @@ func (x *winExec) open() error {
 		l.pending = append(l.pending, e)
 		x.order = append(x.order, l)
 		x.pending++
+	}
+	if x.reverse {
+		// Chaos mutation: flip every non-zero lane's initial run so the
+		// window executes tail-first. Mailbox deliveries then arrive in
+		// the wrong order — a divergence the differential oracles must
+		// catch against the serial engine.
+		for _, l := range x.active {
+			if l.id == 0 {
+				continue
+			}
+			for i, j := 0, len(l.pending)-1; i < j; i, j = i+1, j-1 {
+				l.pending[i], l.pending[j] = l.pending[j], l.pending[i]
+			}
+		}
 	}
 	if x.eng != nil {
 		x.eng.observe(len(x.active), x.pending)
@@ -373,6 +442,7 @@ func (x *winExec) close() bool {
 		l.postKey = 0
 		l.inWin = 0
 		l.cur = nil
+		l.claim = 0 // engine goroutine, after the pool joined: no CAS in flight
 	}
 	return ok
 }
@@ -517,7 +587,7 @@ func (k *Kernel) RunParallel(cfg ParallelConfig) error {
 	if k.finished {
 		return fmt.Errorf("sim: kernel already ran")
 	}
-	if cfg.Lookahead <= 0 {
+	if cfg.Lookahead <= 0 && cfg.PairLookahead == nil {
 		panic("sim: RunParallel requires a positive lookahead")
 	}
 	nlanes, laneOf := cfg.Lanes, cfg.LaneOf
@@ -526,6 +596,41 @@ func (k *Kernel) RunParallel(cfg ParallelConfig) error {
 		laneOf = func(p *Proc) int { return p.id }
 	} else if laneOf == nil {
 		panic("sim: ParallelConfig.Lanes set without LaneOf")
+	}
+
+	// Collapse the pair matrix into per-lane causal horizons: lane j
+	// cannot be reached by any other lane before T + rowMin[j], rowMin[j]
+	// = min over i != j of PairLookahead(i, j). The executed window width
+	// is the narrowest horizon (committing ragged windows would reorder
+	// effects; see PairLookahead), and each lane's own horizon backs the
+	// commit's per-pair violation checks.
+	var rowMin []Time
+	width := cfg.Lookahead
+	if cfg.PairLookahead != nil && nlanes > 1 {
+		rowMin = make([]Time, nlanes)
+		width = 0
+		for j := 0; j < nlanes; j++ {
+			min := Time(0)
+			for i := 0; i < nlanes; i++ {
+				if i == j {
+					continue
+				}
+				v := cfg.PairLookahead(i, j)
+				if v <= 0 {
+					panic(fmt.Sprintf("sim: PairLookahead(%d,%d) = %v, must be positive", i, j, v))
+				}
+				if min == 0 || v < min {
+					min = v
+				}
+			}
+			rowMin[j] = min
+			if width == 0 || min < width {
+				width = min
+			}
+		}
+	}
+	if width <= 0 {
+		panic("sim: RunParallel requires a positive lookahead")
 	}
 	k.started = true
 	k.parallel = true
@@ -543,8 +648,9 @@ func (k *Kernel) RunParallel(cfg ParallelConfig) error {
 	}
 
 	// Workers beyond GOMAXPROCS cannot add parallelism — they only add
-	// scheduling overhead and work-channel rendezvous — so the pool is
-	// clamped to the host's usable CPUs (results are worker-independent).
+	// scheduling overhead and window-broadcast rendezvous — so the pool
+	// is clamped to the host's usable CPUs (results are
+	// worker-independent).
 	workers := cfg.Workers
 	if max := runtime.GOMAXPROCS(0); workers > max {
 		workers = max
@@ -552,27 +658,69 @@ func (k *Kernel) RunParallel(cfg ParallelConfig) error {
 	if workers > nlanes {
 		workers = nlanes
 	}
-	var work chan *lane
-	var wg sync.WaitGroup
-	if workers > 1 {
-		work = make(chan *lane)
-		defer close(work)
-		for i := 0; i < workers; i++ {
-			go func() {
-				for l := range work {
-					l.run()
-					wg.Done()
-				}
-			}()
-		}
-	}
 
 	if k.rec != nil {
 		k.eng = &EngineFlight{LaneHist: make([]int64, nlanes)}
 	}
-	wx := &winExec{k: k, lookahead: cfg.Lookahead, eng: k.eng}
+	wx := &winExec{k: k, width: width, rowMin: rowMin, eng: k.eng, reverse: cfg.MutateReverseRuns}
 
-	if work == nil {
+	// Pool mode: each window is broadcast to every worker. Worker w owns
+	// the active-lane positions congruent to w mod workers and claims
+	// each with a CAS before running it; once its own positions are
+	// drained it scans the other workers' positions tail-first
+	// (classic deque stealing) so a worker stuck behind one hot lane
+	// does not idle the rest of the pool. Which worker executes a lane
+	// is a race, but it is a benign one: every lane runs exactly once,
+	// lane execution only touches lane-local state, and the commit
+	// order is fixed by (timestamp, sequence) — results are
+	// byte-identical no matter who ran what. Workers signal completion
+	// per *window* (not per lane), so by the time the engine commits,
+	// no worker is touching claim flags.
+	var wg sync.WaitGroup
+	var steals int64
+	var pool []chan *winExec
+	if workers > 1 {
+		pool = make([]chan *winExec, workers)
+		for i := range pool {
+			pool[i] = make(chan *winExec, 1)
+		}
+		defer func() {
+			for _, ch := range pool {
+				close(ch)
+			}
+		}()
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				for x := range pool[w] {
+					n := len(x.active)
+					for i := w; i < n; i += workers {
+						l := x.active[i]
+						if atomic.CompareAndSwapUint32(&l.claim, 0, 1) {
+							l.run()
+						}
+					}
+					if !cfg.NoSteal {
+						for off := 1; off < workers; off++ {
+							v := (w + off) % workers
+							if v >= n {
+								continue
+							}
+							for i := v + (n-1-v)/workers*workers; i >= v; i -= workers {
+								l := x.active[i]
+								if atomic.CompareAndSwapUint32(&l.claim, 0, 1) {
+									atomic.AddInt64(&steals, 1)
+									l.run()
+								}
+							}
+						}
+					}
+					wg.Done()
+				}
+			}(w)
+		}
+	}
+
+	if pool == nil {
 		// Serialized engine: the baton chains across lanes and windows
 		// alike, so the entire run costs the same goroutine switches as
 		// the serial engine plus exactly one park rendezvous at the end.
@@ -616,14 +764,15 @@ func (k *Kernel) RunParallel(cfg ParallelConfig) error {
 		if len(wx.active) == 1 {
 			wx.run1()
 		} else {
-			wg.Add(len(wx.active))
-			for _, l := range wx.active {
-				work <- l
+			wg.Add(workers)
+			for _, ch := range pool {
+				ch <- wx
 			}
 			wg.Wait()
 		}
 		if k.eng != nil {
 			k.eng.ExecNS += time.Since(t0).Nanoseconds()
+			k.eng.Steals = atomic.LoadInt64(&steals)
 		}
 		if !wx.close() {
 			k.finished = true
@@ -632,6 +781,9 @@ func (k *Kernel) RunParallel(cfg ParallelConfig) error {
 			}
 			return wx.err
 		}
+	}
+	if k.eng != nil {
+		k.eng.Steals = atomic.LoadInt64(&steals)
 	}
 	return k.conclude()
 }
@@ -658,6 +810,9 @@ func (k *Kernel) commitWindow(x *winExec) (error, any) {
 			merge = true
 			break
 		}
+	}
+	if merge && x.eng != nil {
+		x.eng.MergedWindows++
 	}
 	pending := x.pending
 	if !merge {
@@ -693,10 +848,14 @@ func (k *Kernel) commitWindow(x *winExec) (error, any) {
 				pe.seq = k.seq
 				k.seq++
 				pe.fresh = false
-				if pe.at < x.windowEnd {
+				// A same-lane post past the window routes out by
+				// construction (an in-window one would have forced the
+				// merge path); a cross-lane post must clear the target
+				// lane's causal horizon.
+				if pl := pe.proc.lane; pl != l && pe.at < x.laneEnd(pl) {
 					panic(fmt.Sprintf(
-						"sim: lookahead violation: %q scheduled an event on lane %d at %v, inside the window ending %v",
-						e.proc.name, pe.proc.lane.id, pe.at, x.windowEnd))
+						"sim: lookahead violation: %q scheduled an event on lane %d at %v, inside that lane's horizon ending %v",
+						e.proc.name, pl.id, pe.at, x.laneEnd(pl)))
 				}
 				k.sched.push(pe)
 				qlen++
@@ -710,7 +869,7 @@ func (k *Kernel) commitWindow(x *winExec) (error, any) {
 				fn()
 			}
 			if st.barrier != nil {
-				k.applyArrival(st, x.windowEnd)
+				k.applyArrival(st, x)
 				qlen = k.sched.len() // arrival may post release events
 			}
 			if st.panicked != nil {
@@ -746,7 +905,7 @@ func (k *Kernel) commitWindow(x *winExec) (error, any) {
 				return nil, nil
 			}
 		}
-		if err, pv := k.commitStep(l, x.windowEnd, &pending); err != nil || pv != nil {
+		if err, pv := k.commitStep(l, x, &pending); err != nil || pv != nil {
 			return err, pv
 		}
 	}
@@ -756,7 +915,7 @@ func (k *Kernel) commitWindow(x *winExec) (error, any) {
 // sequencing and routing, deferred effects, barrier arrival. It returns a
 // non-nil error (runaway) or panic value when the run must stop at this
 // step.
-func (k *Kernel) commitStep(l *lane, windowEnd Time, pending *int) (error, any) {
+func (k *Kernel) commitStep(l *lane, x *winExec, pending *int) (error, any) {
 	st := &l.steps[l.next]
 	e := st.ev
 	if k.MaxEvents > 0 && k.processed >= k.MaxEvents {
@@ -779,14 +938,21 @@ func (k *Kernel) commitStep(l *lane, windowEnd Time, pending *int) (error, any) 
 		pe.seq = k.seq
 		k.seq++
 		pe.fresh = false
-		if pe.at < windowEnd {
-			if pe.proc.lane != l {
-				panic(fmt.Sprintf(
-					"sim: lookahead violation: %q scheduled an event on lane %d at %v, inside the window ending %v",
-					e.proc.name, pe.proc.lane.id, pe.at, windowEnd))
+		if pl := pe.proc.lane; pl == l {
+			// Same lane: in-window posts were executed by the lane
+			// (postLocal added them); later ones route out. The posting
+			// lane needs no lookahead from itself.
+			if pe.at < x.windowEnd {
+				*pending++
+			} else {
+				k.sched.push(pe)
 			}
-			*pending++
 		} else {
+			if pe.at < x.laneEnd(pl) {
+				panic(fmt.Sprintf(
+					"sim: lookahead violation: %q scheduled an event on lane %d at %v, inside that lane's horizon ending %v",
+					e.proc.name, pl.id, pe.at, x.laneEnd(pl)))
+			}
 			k.sched.push(pe)
 		}
 	}
@@ -799,7 +965,7 @@ func (k *Kernel) commitStep(l *lane, windowEnd Time, pending *int) (error, any) 
 		fn()
 	}
 	if st.barrier != nil {
-		k.applyArrival(st, windowEnd)
+		k.applyArrival(st, x)
 	}
 	if st.panicked != nil {
 		return nil, st.panicked
@@ -811,7 +977,7 @@ func (k *Kernel) commitStep(l *lane, windowEnd Time, pending *int) (error, any) 
 // applyArrival applies one logged barrier arrival in commit order. The
 // arrival is always the final action of its activation (Wait blocks), so
 // applying it after the activation's posts preserves the serial sequence.
-func (k *Kernel) applyArrival(st *laneStep, windowEnd Time) {
+func (k *Kernel) applyArrival(st *laneStep, x *winExec) {
 	b := st.barrier
 	p := st.ev.proc
 	b.count++
@@ -823,12 +989,22 @@ func (k *Kernel) applyArrival(st *laneStep, windowEnd Time) {
 		return
 	}
 	// Last arrival: release everyone (waiters in arrival order, then the
-	// last arriver) in one batch, exactly as the serial Wait does.
+	// last arriver) in one batch, exactly as the serial Wait does. Each
+	// released Proc's resume must land at or past its own lane's window
+	// end — inside the window that lane already executed past the release
+	// point, a divergence from serial order.
 	release := b.maxAt + b.cost
-	if release < windowEnd {
+	for _, w := range b.waiters {
+		if end := x.laneEnd(w.lane); release < end {
+			panic(fmt.Sprintf(
+				"sim: lookahead violation: barrier release at %v inside lane %d's window ending %v (barrier cost < lookahead)",
+				release, w.lane.id, end))
+		}
+	}
+	if end := x.laneEnd(p.lane); release < end {
 		panic(fmt.Sprintf(
-			"sim: lookahead violation: barrier release at %v inside the window ending %v (barrier cost < lookahead)",
-			release, windowEnd))
+			"sim: lookahead violation: barrier release at %v inside lane %d's window ending %v (barrier cost < lookahead)",
+			release, p.lane.id, end))
 	}
 	k.releaseAll(b.waiters, p, release, b.maxAt)
 	b.count = 0

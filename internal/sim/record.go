@@ -288,6 +288,16 @@ type EngineFlight struct {
 	Windows     int64 // conservative windows executed
 	Events      int64 // window events handed to lanes
 	SoloWindows int64 // windows with exactly one active lane
+	// MergedWindows counts windows whose commit took the k-way merge
+	// path (some lane posted an event inside its own window); the rest
+	// used the linear pop-order walk.
+	MergedWindows int64
+	// Steals counts lanes executed by a worker that did not own their
+	// active-lane position (deterministic work stealing). Which worker
+	// runs a lane is host-scheduling-dependent, so like the wall-clock
+	// fields this counter is diagnostic only and never feeds
+	// fingerprints.
+	Steals int64
 
 	// LaneHist[i] counts windows with i+1 active lanes (capped at the
 	// last bucket); EventHist is a power-of-two histogram of events per

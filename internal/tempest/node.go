@@ -320,9 +320,11 @@ func (n *Node) Post(src *sim.Proc, dst *Node, m Msg) {
 	n.Met.MsgPayload.Observe(int64(payload))
 	// The *At cost variants apply seeded per-message jitter when the
 	// Params enable it (chaos testing); with jitter off they are exactly
-	// SendCost/TransitDelay.
+	// SendCost/TransitDelayPair. The pair-aware transit rides the cheap
+	// intra-group fabric when a clustered interconnect places both nodes
+	// in one group; on flat interconnects it is exactly TransitDelay.
 	src.AdvanceCat(n.Net.SendCostAt(payload, src.Now(), n.ID, dst.ID), sim.CatOccupancy)
-	src.Send(dst.ProtoProc, send, n.Net.TransitDelayAt(payload, src.Now(), n.ID, dst.ID))
+	src.Send(dst.ProtoProc, send, n.Net.TransitDelayPairAt(payload, src.Now(), n.ID, dst.ID))
 	n.Stats.MsgsSent++
 	n.Stats.BytesSent += int64(payload + n.Net.HeaderBytes)
 }
