@@ -1,0 +1,95 @@
+// Command dsmserve is the simulation-as-a-service front end: it accepts
+// batches of experiment specs (chaos seed bands, harness figure sweeps)
+// over HTTP/JSON, schedules them on a worker pool, dedupes identical
+// configurations through a content-addressed result cache — the
+// simulator is deterministic, so the same spec always produces the same
+// bytes — and streams results back incrementally as NDJSON.
+//
+// Start a server:
+//
+//	dsmserve -addr 127.0.0.1:8077 -workers 4
+//
+// Submit a 100-seed chaos band and stream verdicts:
+//
+//	curl -sN -X POST http://127.0.0.1:8077/v1/batch \
+//	  -d '{"seed_range":{"start":1,"count":100,"scale":"quick"}}'
+//
+// Run a figure sweep through the service (byte-identical to the
+// in-process harness):
+//
+//	curl -sN -X POST http://127.0.0.1:8077/v1/batch \
+//	  -d '{"specs":[{"kind":"experiment","experiment":"figure5","scale":"quick"}]}'
+//
+// Look up a cached result, check health, read the pool counters:
+//
+//	curl -s http://127.0.0.1:8077/v1/spec/<hash>
+//	curl -s http://127.0.0.1:8077/healthz
+//	curl -s http://127.0.0.1:8077/metricsz
+//
+// SIGINT/SIGTERM drain gracefully: in-flight batches finish streaming,
+// queued jobs complete, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"presto/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8077", "listen address")
+		workers    = flag.Int("workers", 0, "pool workers (0 = GOMAXPROCS)")
+		cacheBytes = flag.Int64("cache-bytes", 256<<20, "result cache byte budget (<0 = unbounded)")
+		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "per-job wall-clock bound (0 = none); overrunning jobs return structured errors")
+		maxBatch   = flag.Int("max-batch", 100000, "max jobs per batch request")
+		drainWait  = flag.Duration("drain-timeout", 5*time.Minute, "graceful-drain bound on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	svc := serve.NewService(serve.Config{
+		Workers:    w,
+		CacheBytes: *cacheBytes,
+		JobTimeout: *jobTimeout,
+	})
+	front := serve.NewServer(svc)
+	front.MaxBatch = *maxBatch
+
+	srv := &http.Server{Addr: *addr, Handler: front.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "dsmserve: listening on %s (%d workers)\n", *addr, w)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "dsmserve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, let active batch streams finish
+	// (they wait on their queued jobs), then stop the pool.
+	fmt.Fprintln(os.Stderr, "dsmserve: draining...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "dsmserve: shutdown:", err)
+	}
+	svc.Close()
+	fmt.Fprintln(os.Stderr, "dsmserve: drained")
+}

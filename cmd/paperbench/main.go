@@ -51,14 +51,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 
@@ -100,6 +104,12 @@ func main() {
 	stopProf := prof.Start(*cpuprofile, *memprofile)
 	defer stopProf()
 
+	// SIGINT/SIGTERM stop the run at the next experiment (or kernel-bench
+	// case) boundary; the artifacts for the work already done are flushed
+	// before exit so a partial run stays inspectable.
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+
 	opts := harness.Options{
 		Scale:   harness.ParseScale(*scaleStr),
 		Engine:  rt.EngineKind(*engine),
@@ -129,10 +139,14 @@ func main() {
 			diffOutPath:  *kernelDiffOut,
 			speedup:      *kernelSpeedup,
 			opts:         opts,
+			ctx:          ctx,
 		}
 		if err := kb.run(); err != nil {
 			fmt.Fprintln(os.Stderr, "paperbench:", err)
 			stopProf()
+			if errors.Is(err, errInterrupted) {
+				os.Exit(130)
+			}
 			os.Exit(1)
 		}
 		return
@@ -165,7 +179,12 @@ func main() {
 	}
 
 	var results []*harness.Result
+	interrupted := false
 	for _, e := range exps {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		start := time.Now()
 		res, err := harness.RunExperiment(e, opts)
 		if err != nil {
@@ -198,7 +217,17 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
 	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "paperbench: interrupted after %d/%d experiments; partial artifacts flushed\n",
+			len(results), len(exps))
+		stopProf()
+		os.Exit(130)
+	}
 }
+
+// errInterrupted marks a kernel-bench run stopped by SIGINT/SIGTERM;
+// the partial JSON document has already been written when it surfaces.
+var errInterrupted = errors.New("interrupted")
 
 // kernelBenchDoc is the BENCH_kernel.json schema.
 type kernelBenchDoc struct {
@@ -277,6 +306,9 @@ type kernelBenchRun struct {
 	diffOutPath  string // optional diff artifact path
 	speedup      bool   // evaluate SpeedupGuards (multi-core hosts only)
 	opts         harness.Options
+	// ctx stops the run between benchmark cases (SIGINT/SIGTERM); the
+	// partial document is still written.
+	ctx context.Context
 }
 
 // run measures the kernel micro-benchmarks (optionally filtered) and the
@@ -307,8 +339,12 @@ func (kb *kernelBenchRun) run() error {
 	}
 
 	var gateFailures []string
-	ran := 0
+	ran, interrupted := 0, false
 	for _, c := range kernelbench.Cases() {
+		if kb.ctx != nil && kb.ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		if !keep(c.Name) {
 			continue
 		}
@@ -332,6 +368,15 @@ func (kb *kernelBenchRun) run() error {
 		}
 		fmt.Printf("%-28s %12.1f ns/op %8d B/op %6d allocs/op%s\n",
 			c.Name, doc.Micro[len(doc.Micro)-1].NsPerOp, r.AllocedBytesPerOp(), r.AllocsPerOp(), guard)
+	}
+	if interrupted {
+		// Flush the cases measured so far and stop; the gates and the
+		// figure5 comparison need a complete run to mean anything.
+		if err := writeJSONFile(kb.path, &doc); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (partial: %d cases)\n", kb.path, ran)
+		return fmt.Errorf("%w after %d benchmark cases", errInterrupted, ran)
 	}
 	if ran == 0 {
 		return fmt.Errorf("-kernel-filter %q matches no benchmark case", kb.filter)

@@ -9,6 +9,12 @@
 //
 //	protofuzz -seeds 500 -scale quick
 //
+// Submit the band to a running dsmserve instead of simulating locally
+// (the oracle runs server-side; repeated bands are served from the
+// content-addressed cache):
+//
+//	protofuzz -server http://127.0.0.1:8077 -seeds 500
+//
 // Reproduce a shrunk failure:
 //
 //	protofuzz -repro -seed 17 -max-nodes 4 -max-phases 3
@@ -16,16 +22,25 @@
 // Verify the oracle catches an injected protocol defect:
 //
 //	protofuzz -seeds 100 -mutate stache-skip-deferral -expect-fail
+//
+// SIGINT interrupts a campaign gracefully: the seeds already run are
+// reported, failing-seed artifacts (-out) are flushed, and the process
+// exits 130.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"presto/internal/chaos"
+	"presto/internal/serve"
 )
 
 func main() {
@@ -46,6 +61,7 @@ func main() {
 		noShrink   = flag.Bool("no-shrink", false, "skip minimizing failing seeds")
 		expectFail = flag.Bool("expect-fail", false, "invert the exit status: succeed only if a failure was found (mutation testing)")
 		out        = flag.String("out", "", "directory to write failing-seed reproducer JSON files")
+		server     = flag.String("server", "", "submit the seed band to this dsmserve base URL instead of simulating locally")
 		quiet      = flag.Bool("q", false, "suppress per-seed progress")
 	)
 	flag.Parse()
@@ -55,6 +71,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	// SIGINT/SIGTERM cancel the campaign between seeds; artifacts for the
+	// seeds that did run are flushed before exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	o := chaos.Options{
 		Seeds:       *seeds,
 		Start:       *start,
@@ -65,12 +86,22 @@ func main() {
 		MaxEvents:   *maxEvents,
 		MaxFailures: *maxFail,
 		NoShrink:    *noShrink,
+		Ctx:         ctx,
 	}
 	if !*quiet {
 		o.Log = os.Stderr
 	}
 	if *seed >= 0 {
 		o.Seeds, o.Start = 1, *seed
+	}
+
+	if *server != "" {
+		if *repro || *mutate != "" {
+			fmt.Fprintln(os.Stderr, "protofuzz: -server does not support -repro or -mutate (run those locally)")
+			os.Exit(2)
+		}
+		runServer(ctx, *server, o, *expectFail, *out)
+		return
 	}
 
 	if *repro {
@@ -87,10 +118,6 @@ func main() {
 	}
 
 	rep := chaos.Fuzz(o)
-	if rep.Ok() {
-		fmt.Printf("protofuzz: %d seeds clean (scale=%s start=%d)\n", rep.SeedsRun, sc, o.Start)
-		exit(*expectFail, false)
-	}
 	for _, f := range rep.Failures {
 		fmt.Printf("protofuzz: seed %d FAILED (%d oracle violations), minimal nodes=%d phases=%d iters=%d blocks=%d\n",
 			f.Seed, len(f.Result.Failures), f.Min.Nodes, f.Min.Phases, f.Min.Iters, f.Min.Blocks)
@@ -104,8 +131,94 @@ func main() {
 			}
 		}
 	}
+	if rep.Interrupted {
+		fmt.Printf("protofuzz: interrupted after %d seeds (%d failed); partial artifacts flushed\n",
+			rep.SeedsRun, len(rep.Failures))
+		os.Exit(130)
+	}
+	if rep.Ok() {
+		fmt.Printf("protofuzz: %d seeds clean (scale=%s start=%d)\n", rep.SeedsRun, sc, o.Start)
+		exit(*expectFail, false)
+	}
 	fmt.Printf("protofuzz: %d/%d seeds failed\n", len(rep.Failures), rep.SeedsRun)
 	exit(*expectFail, true)
+}
+
+// runServer submits the seed band as one batch to a dsmserve instance
+// and consumes the NDJSON verdict stream. The differential oracle runs
+// server-side; this client checks verdicts, honors -max-failures, and
+// writes reproducer artifacts for failing seeds.
+func runServer(ctx context.Context, base string, o chaos.Options, expectFail bool, out string) {
+	cl := &serve.Client{Base: base}
+	req := serve.BatchRequest{SeedRange: &serve.SeedRange{
+		Start:     o.Start,
+		Count:     o.Seeds,
+		Scale:     string(o.Scale),
+		JitterPct: o.JitterPct,
+		MaxEvents: o.MaxEvents,
+		MaxNodes:  o.Caps.Nodes,
+		MaxPhases: o.Caps.Phases,
+		MaxIters:  o.Caps.Iters,
+		MaxBlocks: o.Caps.Blocks,
+	}}
+	maxFail := o.MaxFailures
+	if maxFail <= 0 {
+		maxFail = 1
+	}
+	seedsRun, failed := 0, 0
+	errStop := errors.New("max failures reached")
+	err := cl.Batch(ctx, req, func(r *serve.Result) error {
+		seedsRun++
+		if r.Err != "" {
+			failed++
+			fmt.Printf("protofuzz: spec %s job error: %s\n", r.SpecHash, r.Err)
+		} else if d := diffOf(r); d == nil {
+			failed++
+			fmt.Printf("protofuzz: spec %s: malformed result (no differential payload)\n", r.SpecHash)
+		} else if d.Failed() {
+			failed++
+			fmt.Printf("protofuzz: seed %d FAILED (%d oracle violations)\n", d.Seed, len(d.Failures))
+			for _, msg := range d.Failures {
+				fmt.Printf("  %s\n", msg)
+			}
+			repro := chaos.ReproCommand(d.Seed, o, o.Caps)
+			fmt.Printf("  repro: %s\n", repro)
+			if out != "" {
+				f := chaos.Failure{Seed: d.Seed, Result: *d, Min: o.Caps, MinResult: *d, Repro: repro}
+				if err := writeReproducer(out, f); err != nil {
+					fmt.Fprintf(os.Stderr, "protofuzz: writing reproducer: %v\n", err)
+				}
+			}
+		} else if o.Log != nil {
+			fmt.Fprintf(o.Log, "seed %d ok (%s)\n", d.Seed, d.Spec)
+		}
+		if failed >= maxFail {
+			return errStop
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errStop) {
+		if ctx.Err() != nil {
+			fmt.Printf("protofuzz: interrupted after %d seeds (%d failed); partial artifacts flushed\n", seedsRun, failed)
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, "protofuzz:", err)
+		os.Exit(2)
+	}
+	if failed == 0 {
+		fmt.Printf("protofuzz: %d seeds clean (server=%s scale=%s start=%d)\n", seedsRun, base, o.Scale, o.Start)
+		exit(expectFail, false)
+	}
+	fmt.Printf("protofuzz: %d/%d seeds failed\n", failed, seedsRun)
+	exit(expectFail, true)
+}
+
+// diffOf extracts a result's differential payload, nil if absent.
+func diffOf(r *serve.Result) *chaos.SeedResult {
+	if r.Chaos == nil {
+		return nil
+	}
+	return r.Chaos.Diff
 }
 
 // writeReproducer dumps one failure as JSON for CI artifact upload.

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 	"io"
 )
@@ -32,6 +33,11 @@ type Options struct {
 	MaxFailures int
 	// NoShrink skips minimizing failing seeds.
 	NoShrink bool
+	// Ctx, when non-nil, cancels the campaign between seeds (and between
+	// a failure and its shrink): Fuzz returns the partial report with
+	// Interrupted set, so callers can flush artifacts for the seeds that
+	// did run instead of dying mid-write.
+	Ctx context.Context
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -91,6 +97,9 @@ type Failure struct {
 type Report struct {
 	SeedsRun int       `json:"seeds_run"`
 	Failures []Failure `json:"failures,omitempty"`
+	// Interrupted marks a campaign cut short by Options.Ctx: SeedsRun and
+	// Failures cover only the seeds that completed.
+	Interrupted bool `json:"interrupted,omitempty"`
 }
 
 // Ok reports a clean campaign.
@@ -103,6 +112,10 @@ func Fuzz(o Options) Report {
 	o = o.withDefaults()
 	var rep Report
 	for i := 0; i < o.Seeds; i++ {
+		if o.Ctx != nil && o.Ctx.Err() != nil {
+			rep.Interrupted = true
+			break
+		}
 		seed := o.Start + int64(i)
 		r := RunSeed(seed, o)
 		rep.SeedsRun++
@@ -112,7 +125,7 @@ func Fuzz(o Options) Report {
 		}
 		o.logf("seed %d FAILED:\n%s", seed, r.Render())
 		f := Failure{Seed: seed, Result: r}
-		if o.NoShrink {
+		if o.NoShrink || (o.Ctx != nil && o.Ctx.Err() != nil) {
 			f.Min, f.MinResult = r.Spec.Size(), r
 		} else {
 			o.logf("shrinking seed %d ...", seed)

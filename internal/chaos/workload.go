@@ -119,6 +119,42 @@ func ExecuteEngine(s Spec, proto rt.ProtocolKind, ec EngineConfig, maxEvents int
 	return fp
 }
 
+// RunConfig pins every execution knob for one configured run — the
+// serving layer's single-combination job shape (internal/serve), where a
+// spec names its protocol, engine, scheduler and storage backend
+// explicitly instead of running the differential matrix. Zero values
+// mean the runtime defaults (rt.Config.withDefaults).
+type RunConfig struct {
+	Protocol  rt.ProtocolKind
+	Engine    rt.EngineKind
+	Sched     rt.SchedKind
+	Storage   blockstate.Kind
+	Lookahead rt.LookaheadKind
+	NoSteal   bool
+	Workers   int
+	MaxEvents int64
+}
+
+// ExecuteRun runs the spec once under an explicit run configuration and
+// fingerprints the outcome. Worker counts are clamped to the spec's lane
+// count like every other entry point.
+func ExecuteRun(s Spec, rc RunConfig) Fingerprint {
+	cfg := rt.Config{
+		Nodes:     s.Nodes,
+		BlockSize: s.BlockSize,
+		Protocol:  rc.Protocol,
+		Engine:    rc.Engine,
+		Sched:     rc.Sched,
+		Storage:   rc.Storage,
+		Lookahead: rc.Lookahead,
+		NoSteal:   rc.NoSteal,
+		Workers:   rc.Workers,
+		MaxEvents: rc.MaxEvents,
+	}
+	fp, _ := runConfigured(s, cfg)
+	return fp
+}
+
 // ExecuteProfiled is Execute with the causal profiler enabled. It
 // returns the fingerprint — which must equal Execute's, since profiling
 // may not perturb the simulation — plus the assembled profile, already

@@ -8,6 +8,7 @@
 package harness
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
@@ -316,6 +317,20 @@ func RunExperiment(e Experiment, o Options) (*Result, error) {
 		res.Engine = o.Engine
 	}
 	return res, err
+}
+
+// RunCSV executes the experiment and returns its rows rendered as CSV
+// bytes alongside the result. This is the serving layer's experiment
+// payload: CSV bytes are deterministic for a fixed configuration, so a
+// run through dsmserve must be byte-identical to an in-process run.
+func RunCSV(e Experiment, o Options) ([]byte, *Result, error) {
+	res, err := RunExperiment(e, o)
+	if err != nil {
+		return nil, nil, err
+	}
+	var buf bytes.Buffer
+	res.CSV(&buf)
+	return buf.Bytes(), res, nil
 }
 
 var registry []Experiment

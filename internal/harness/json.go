@@ -59,6 +59,13 @@ func (res *Result) toJSON() resultJSON {
 	return out
 }
 
+// JSON renders the result as one machine-readable JSON document (the
+// same per-experiment record WriteJSON emits, without the wrapper) —
+// deterministic for a fixed configuration.
+func (res *Result) JSON() ([]byte, error) {
+	return json.Marshal(res.toJSON())
+}
+
 // WriteJSON writes the experiments' results as one machine-readable JSON
 // document (paperbench's BENCH_results.json). Virtual time makes the
 // output deterministic for a fixed configuration.

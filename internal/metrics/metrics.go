@@ -103,6 +103,44 @@ func (h *Histogram) Max() int64 { return h.max }
 // Bucket returns the count of bucket i (see histBuckets).
 func (h *Histogram) Bucket(i int) int64 { return h.buckets[i] }
 
+// Quantile estimates the q-th quantile (q in [0,1]) as the inclusive
+// upper bound of the first bucket whose cumulative count reaches
+// ceil(q*n). Power-of-two buckets make this an upper estimate within 2x
+// of the true value — good enough for p50/p99 latency reporting. Returns
+// 0 for an empty histogram; the top bucket clamps to Max.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	want := int64(q * float64(h.n))
+	if float64(want) < q*float64(h.n) || want == 0 {
+		want++
+	}
+	var cum int64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= want {
+			var le int64
+			if i >= 63 {
+				le = int64(^uint64(0) >> 1)
+			} else {
+				le = int64(1)<<uint(i) - 1
+			}
+			if le > h.max {
+				le = h.max
+			}
+			return le
+		}
+	}
+	return h.max
+}
+
 // nonEmpty returns the dense [lo,hi) bucket range holding all samples.
 func (h *Histogram) nonEmpty() (lo, hi int) {
 	lo, hi = -1, 0

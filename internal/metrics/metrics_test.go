@@ -141,3 +141,37 @@ func TestEmptyPhaseRates(t *testing.T) {
 		t.Fatal("empty phase must report zero rates")
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram must report 0")
+	}
+
+	h.Observe(5) // bucket 3: [4,8), upper bound 7 clamps to max 5
+	if got := h.Quantile(0.5); got != 5 {
+		t.Fatalf("single-sample p50 = %d, want 5 (bucket bound clamped to max)", got)
+	}
+
+	// 99 small samples and one large one: p50/p99 land in the small
+	// bucket, only the tail quantile reaches the outlier.
+	h = Histogram{}
+	for i := 0; i < 99; i++ {
+		h.Observe(10) // bucket 4: [8,16), upper bound 15
+	}
+	h.Observe(1000) // bucket 10: [512,1024), upper bound 1023 clamps to 1000
+	if got := h.Quantile(0.5); got != 15 {
+		t.Fatalf("p50 = %d, want 15", got)
+	}
+	if got := h.Quantile(0.99); got != 15 {
+		t.Fatalf("p99 = %d, want 15 (99/100 samples are small)", got)
+	}
+	if got := h.Quantile(1); got != 1000 {
+		t.Fatalf("p100 = %d, want 1000", got)
+	}
+
+	// Out-of-range q clamps instead of misbehaving.
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("q outside [0,1] must clamp")
+	}
+}

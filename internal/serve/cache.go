@@ -1,0 +1,77 @@
+package serve
+
+import "container/list"
+
+// Cache is a content-addressed LRU result cache with a byte budget: the
+// key is a spec hash, the value the encoded NDJSON result line. It is
+// not safe for concurrent use — the Service serializes access under its
+// mutex. Eviction is deterministic: least-recently-used first, driven
+// only by the sequence of Put/Get calls.
+type Cache struct {
+	budget  int64 // max resident bytes (values only); <=0 means unbounded
+	bytes   int64
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	hash string
+	line []byte
+}
+
+// NewCache builds a cache holding at most budget bytes of encoded
+// results (<=0 = unbounded).
+func NewCache(budget int64) *Cache {
+	return &Cache{
+		budget:  budget,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// Get returns the cached line for hash and marks it most recently used.
+func (c *Cache) Get(hash string) ([]byte, bool) {
+	e := c.entries[hash]
+	if e == nil {
+		return nil, false
+	}
+	c.lru.MoveToFront(e)
+	return e.Value.(*cacheEntry).line, true
+}
+
+// Put inserts (or refreshes) a line and evicts least-recently-used
+// entries until the budget holds again, returning the evicted hashes in
+// eviction order. A line larger than the whole budget is not cached (a
+// single oversized result must not flush every other entry).
+func (c *Cache) Put(hash string, line []byte) (evicted []string) {
+	if e := c.entries[hash]; e != nil {
+		ce := e.Value.(*cacheEntry)
+		c.bytes += int64(len(line)) - int64(len(ce.line))
+		ce.line = line
+		c.lru.MoveToFront(e)
+	} else {
+		if c.budget > 0 && int64(len(line)) > c.budget {
+			return nil
+		}
+		c.entries[hash] = c.lru.PushFront(&cacheEntry{hash: hash, line: line})
+		c.bytes += int64(len(line))
+	}
+	for c.budget > 0 && c.bytes > c.budget {
+		back := c.lru.Back()
+		if back == nil || back == c.lru.Front() {
+			break // never evict the entry just inserted
+		}
+		ce := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.entries, ce.hash)
+		c.bytes -= int64(len(ce.line))
+		evicted = append(evicted, ce.hash)
+	}
+	return evicted
+}
+
+// Len returns the number of resident results.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Bytes returns the resident value bytes.
+func (c *Cache) Bytes() int64 { return c.bytes }

@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func line(n int) []byte { return bytes.Repeat([]byte{'x'}, n) }
+
+func TestCacheLRUEvictionOrder(t *testing.T) {
+	c := NewCache(30)
+	c.Put("a", line(10))
+	c.Put("b", line(10))
+	c.Put("c", line(10))
+	if c.Len() != 3 || c.Bytes() != 30 {
+		t.Fatalf("len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+	// Touch "a" so "b" becomes least recently used.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	evicted := c.Put("d", line(10))
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Fatalf("evicted %v, want [b]", evicted)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b still resident after eviction")
+	}
+	for _, h := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(h); !ok {
+			t.Fatalf("%s missing", h)
+		}
+	}
+}
+
+func TestCacheEvictionDeterministic(t *testing.T) {
+	// The same Put/Get sequence must evict the same hashes in the same
+	// order — eviction is part of the service's deterministic contract.
+	run := func() []string {
+		c := NewCache(50)
+		var all []string
+		for i := 0; i < 10; i++ {
+			h := fmt.Sprintf("h%d", i)
+			if i%3 == 0 {
+				c.Get("h0")
+			}
+			all = append(all, c.Put(h, line(10))...)
+		}
+		return all
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("eviction orders differ: %v vs %v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("scenario never evicted — budget too large to test anything")
+	}
+}
+
+func TestCacheRefreshExistingEntry(t *testing.T) {
+	c := NewCache(100)
+	c.Put("a", line(10))
+	c.Put("a", line(40))
+	if c.Len() != 1 || c.Bytes() != 40 {
+		t.Fatalf("refresh: len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+	got, ok := c.Get("a")
+	if !ok || len(got) != 40 {
+		t.Fatalf("refresh lost the new value (len %d)", len(got))
+	}
+}
+
+func TestCacheOversizedLineNotCached(t *testing.T) {
+	c := NewCache(20)
+	c.Put("small", line(10))
+	if ev := c.Put("huge", line(100)); len(ev) != 0 {
+		t.Fatalf("oversized insert evicted %v", ev)
+	}
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("oversized line cached")
+	}
+	if _, ok := c.Get("small"); !ok {
+		t.Fatal("oversized insert flushed the resident entry")
+	}
+}
+
+func TestCacheNeverEvictsJustInserted(t *testing.T) {
+	c := NewCache(20)
+	c.Put("a", line(5))
+	// 20-byte insert exactly fills the budget after "a" goes; the new
+	// entry itself must survive even though bytes == budget.
+	ev := c.Put("b", line(20))
+	if len(ev) != 1 || ev[0] != "a" {
+		t.Fatalf("evicted %v, want [a]", ev)
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("just-inserted entry evicted")
+	}
+}
+
+func TestCacheUnbounded(t *testing.T) {
+	c := NewCache(-1)
+	for i := 0; i < 100; i++ {
+		if ev := c.Put(fmt.Sprintf("h%d", i), line(1000)); len(ev) != 0 {
+			t.Fatalf("unbounded cache evicted %v", ev)
+		}
+	}
+	if c.Len() != 100 {
+		t.Fatalf("len=%d", c.Len())
+	}
+}

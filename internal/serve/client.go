@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client talks to a dsmserve instance. The zero HTTP client is fine for
+// long streams — batch responses have no deadline; cancel via ctx.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8077".
+	Base string
+	// HTTP overrides the transport (default http.DefaultClient).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.Base, "/") + path
+}
+
+// Batch submits a batch and invokes fn for each streamed result, in
+// order, as lines arrive. fn returning an error aborts the stream and
+// surfaces that error.
+func (c *Client) Batch(ctx context.Context, req BatchRequest, fn func(*Result) error) error {
+	return c.batch(ctx, req, nil, fn)
+}
+
+// BatchRaw submits a batch and copies the raw NDJSON stream to w —
+// the byte-identity path (CI artifacts, replay comparisons).
+func (c *Client) BatchRaw(ctx context.Context, req BatchRequest, w io.Writer) error {
+	return c.batch(ctx, req, w, nil)
+}
+
+func (c *Client) batch(ctx context.Context, req BatchRequest, raw io.Writer, fn func(*Result) error) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/v1/batch"), bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("serve: batch: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	if raw != nil {
+		_, err := io.Copy(raw, resp.Body)
+		return err
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20) // experiment rows can be large
+	for sc.Scan() {
+		var r Result
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			return fmt.Errorf("serve: decoding result line: %v", err)
+		}
+		if err := fn(&r); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Spec fetches one cached result by spec hash. Running and unknown
+// hashes are distinct errors (ErrRunning, ErrUnknownSpec).
+func (c *Client) Spec(ctx context.Context, hash string) (*Result, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/v1/spec/"+hash), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusAccepted:
+		return nil, ErrRunning
+	case http.StatusNotFound:
+		return nil, ErrUnknownSpec
+	default:
+		return nil, fmt.Errorf("serve: spec %s: %s", hash, resp.Status)
+	}
+	var r Result
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Metrics fetches the /metricsz document.
+func (c *Client) Metrics(ctx context.Context) (*MetricsDoc, error) {
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/metricsz"), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: metricsz: %s", resp.Status)
+	}
+	var doc MetricsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// Sentinel client errors.
+var (
+	ErrRunning     = fmt.Errorf("serve: spec is still running")
+	ErrUnknownSpec = fmt.Errorf("serve: unknown spec hash")
+)

@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"presto/internal/metrics"
+)
+
+// mustSpec returns a normalized chaos differential spec for seed.
+func mustSpec(t *testing.T, seed int64) Spec {
+	t.Helper()
+	n, err := Spec{Kind: KindChaos, Seed: seed}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// counter returns the named service counter's value under the service
+// mutex (the registry itself is deliberately not thread-safe).
+func counter(s *Service, name string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reg.Counter(name).Value()
+}
+
+func TestServiceSingleFlightHammer(t *testing.T) {
+	// 32 goroutines submit the identical spec while the one real job is
+	// blocked on a gate: every submission must coalesce onto that job and
+	// the runner must execute exactly once.
+	var runs atomic.Int64
+	gate := make(chan struct{})
+	svc := NewService(Config{
+		Workers: 4,
+		Runner: func(ctx context.Context, spec Spec) *Result {
+			runs.Add(1)
+			<-gate
+			return &Result{ElapsedNS: spec.Seed}
+		},
+	})
+	defer svc.Close()
+
+	spec := mustSpec(t, 42)
+	const waiters = 32
+	tickets := make(chan *Ticket, waiters)
+	var submitted sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		submitted.Add(1)
+		go func() {
+			defer submitted.Done()
+			tickets <- svc.Do(spec)
+		}()
+	}
+	submitted.Wait()
+	close(gate)
+
+	var first []byte
+	for i := 0; i < waiters; i++ {
+		line, err := (<-tickets).Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = line
+		} else if !bytes.Equal(first, line) {
+			t.Fatalf("coalesced waiters saw different bytes:\n%s%s", first, line)
+		}
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("runner executed %d times, want exactly 1", got)
+	}
+	if c := counter(svc, "serve/coalesced"); c != waiters-1 {
+		t.Fatalf("coalesced counter = %d, want %d", c, waiters-1)
+	}
+	if c := counter(svc, "serve/cache_misses"); c != 1 {
+		t.Fatalf("misses = %d, want 1", c)
+	}
+}
+
+func TestServiceSecondRunIsCacheHit(t *testing.T) {
+	var runs atomic.Int64
+	svc := NewService(Config{
+		Workers: 1,
+		Runner: func(ctx context.Context, spec Spec) *Result {
+			runs.Add(1)
+			return &Result{ElapsedNS: spec.Seed, MemHash: fmt.Sprintf("%016x", spec.Seed)}
+		},
+	})
+	defer svc.Close()
+
+	spec := mustSpec(t, 7)
+	first, err := svc.Do(spec).Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := svc.Do(spec).Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("replay bytes differ:\n%s%s", first, second)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("runner ran %d times, want 1", runs.Load())
+	}
+	if c := counter(svc, "serve/cache_hits"); c != 1 {
+		t.Fatalf("hits = %d, want 1", c)
+	}
+	line, ok, running := svc.Cached(spec.Hash())
+	if !ok || running || !bytes.Equal(line, first) {
+		t.Fatalf("Cached(%s) = ok=%v running=%v", spec.Hash(), ok, running)
+	}
+}
+
+func TestServicePanicRecovery(t *testing.T) {
+	var calls atomic.Int64
+	svc := NewService(Config{
+		Workers: 1,
+		Runner: func(ctx context.Context, spec Spec) *Result {
+			if calls.Add(1) == 1 {
+				panic("boom")
+			}
+			return &Result{}
+		},
+	})
+	defer svc.Close()
+
+	spec := mustSpec(t, 1)
+	line, err := svc.Do(spec).Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(line), "job panicked: boom") {
+		t.Fatalf("panic not surfaced as structured error: %s", line)
+	}
+	if c := counter(svc, "serve/job_panics"); c != 1 {
+		t.Fatalf("panics = %d", c)
+	}
+	// A panic on deterministic input is a property of the spec: cached.
+	again, err := svc.Do(spec).Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(line, again) {
+		t.Fatal("panic result not served from cache")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("runner re-ran a cached panic (%d calls)", calls.Load())
+	}
+	// The pool worker survived: a different spec still runs.
+	if _, err := svc.Do(mustSpec(t, 2)).Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServiceTimeoutNotCached(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	svc := NewService(Config{
+		Workers:    1,
+		JobTimeout: 20 * time.Millisecond,
+		Runner: func(ctx context.Context, spec Spec) *Result {
+			if calls.Add(1) == 1 {
+				<-release // overruns the job timeout
+			}
+			return &Result{ElapsedNS: spec.Seed}
+		},
+	})
+	defer svc.Close()
+	defer close(release)
+
+	spec := mustSpec(t, 9)
+	line, err := svc.Do(spec).Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(line), "job abandoned") {
+		t.Fatalf("timeout not surfaced: %s", line)
+	}
+	if c := counter(svc, "serve/job_timeouts"); c != 1 {
+		t.Fatalf("timeouts = %d", c)
+	}
+	// A timeout is a wall-clock accident, not a property of the spec: the
+	// retry must simulate again and succeed.
+	retry, err := svc.Do(spec).Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(retry), "job abandoned") {
+		t.Fatalf("timeout result was cached: %s", retry)
+	}
+	if c := counter(svc, "serve/cache_misses"); c != 2 {
+		t.Fatalf("misses = %d, want 2 (timeout must not populate the cache)", c)
+	}
+}
+
+func TestServiceEvictionUnderBudget(t *testing.T) {
+	svc := NewService(Config{
+		Workers:    1,
+		CacheBytes: 600, // a handful of encoded result lines
+		Runner: func(ctx context.Context, spec Spec) *Result {
+			return &Result{ElapsedNS: spec.Seed}
+		},
+	})
+	defer svc.Close()
+
+	for seed := int64(1); seed <= 12; seed++ {
+		if _, err := svc.Do(mustSpec(t, seed)).Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := counter(svc, "serve/evictions"); c == 0 {
+		t.Fatal("12 results in a 600-byte budget evicted nothing")
+	}
+	doc := svc.MetricsSnapshot()
+	if doc.CacheBytes > 600 {
+		t.Fatalf("cache holds %d bytes over the 600 budget", doc.CacheBytes)
+	}
+	if doc.CacheEntries >= 12 {
+		t.Fatalf("cache kept all %d entries despite the budget", doc.CacheEntries)
+	}
+}
+
+func TestServiceDrainResolvesTickets(t *testing.T) {
+	svc := NewService(Config{
+		Workers: 1,
+		Runner:  func(ctx context.Context, spec Spec) *Result { return &Result{} },
+	})
+	svc.Close()
+	line, err := svc.Do(mustSpec(t, 5)).Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(line), "draining") {
+		t.Fatalf("post-drain submission got %s", line)
+	}
+}
+
+func TestServiceMetricsSnapshot(t *testing.T) {
+	reg := metrics.New()
+	svc := NewService(Config{
+		Workers:  1,
+		Registry: reg,
+		Runner: func(ctx context.Context, spec Spec) *Result {
+			time.Sleep(time.Millisecond)
+			return &Result{}
+		},
+	})
+	defer svc.Close()
+	if _, err := svc.Do(mustSpec(t, 3)).Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	doc := svc.MetricsSnapshot()
+	if doc.JobLatency.P50NS <= 0 || doc.JobLatency.P99NS < doc.JobLatency.P50NS {
+		t.Fatalf("latency quantiles %+v", doc.JobLatency)
+	}
+	names := map[string]bool{}
+	for _, c := range doc.Metrics.Counters {
+		names[c.Name] = true
+	}
+	for _, want := range []string{"serve/jobs", "serve/cache_hits", "serve/cache_misses",
+		"serve/coalesced", "serve/queue_depth", "serve/evictions"} {
+		if !names[want] {
+			t.Fatalf("snapshot missing %s (have %v)", want, names)
+		}
+	}
+}
