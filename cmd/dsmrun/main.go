@@ -7,7 +7,7 @@
 //	dsmrun -app adaptive|barnes|water [-protocol stache|predictive|update]
 //	       [-nodes N] [-block B] [-net cm5|now|hwdsm|cluster:<g>x<c>] [-spmd] [-splash] [-size N] [-iters N]
 //	       [-metrics out.json] [-metrics-out out.json]
-//	       [-profile] [-profile-out profile.json]
+//	       [-profile] [-profile-out profile.json] [-predict]
 //	       [-trace-out t.json] [-trace-format chrome|jsonl]
 //	       [-engine serial|parallel] [-workers N] [-sched wheel|heap]
 //	       [-cpuprofile f] [-memprofile f]
@@ -23,6 +23,11 @@
 // the same data as a stable profile.json artifact. With a chrome trace,
 // -profile also overlays the critical path as a dedicated lane with flow
 // arrows. Simulated results are identical with or without -profile.
+// -predict cross-checks the analytical fast path (internal/predict)
+// against the run: a second, recorded simulation at the predictor's 32B
+// calibration block size is distilled into a calibration, the requested
+// block size is predicted analytically, and the predicted-vs-simulated
+// error table prints after the breakdown (-block must be 32<<k, k<=6).
 // -trace-out streams the protocol event trace to a file: -trace-format
 // chrome (default) produces a Chrome trace_event file for
 // chrome://tracing or https://ui.perfetto.dev; jsonl produces one JSON
@@ -49,6 +54,7 @@ import (
 	"presto/internal/apps/water"
 	"presto/internal/causal"
 	"presto/internal/network"
+	"presto/internal/predict"
 	"presto/internal/prof"
 	"presto/internal/rt"
 	"presto/internal/sim"
@@ -68,6 +74,7 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write the metrics report as JSON to this file (\"-\" = stdout)")
 	metricsOut2 := flag.String("metrics-out", "", "alias for -metrics: write the metrics report (including the full metrics registry) as JSON")
 	profile := flag.Bool("profile", false, "enable the causal profiler and print the critical-path/attribution report")
+	predictFlag := flag.Bool("predict", false, "validate the analytical predictor against this run: record a 32B calibration of the same configuration, predict this block size, print the predicted-vs-simulated error table")
 	profileOut := flag.String("profile-out", "", "with -profile: write the profile.json artifact to this file (\"-\" = stdout)")
 	traceOut := flag.String("trace-out", "", "write the protocol event trace to this file")
 	traceFormat := flag.String("trace-format", "chrome", "trace format: chrome or jsonl")
@@ -245,6 +252,65 @@ func main() {
 			}
 		}
 	}
+
+	if *predictFlag {
+		if err := predictReport(*app, mc, *size, *iters, *spmd, *splash, b); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// predictReport validates the analytical fast path against the run that
+// just finished: it records a calibration of the same configuration at
+// the predictor's 32B base block size, extrapolates to the requested
+// block size, and prints the error table plus the predicted breakdown.
+func predictReport(app string, mc rt.Config, size, iters int, spmd, splash bool, simulated rt.Breakdown) error {
+	cc := mc
+	cc.BlockSize = 32
+	cc.Profile, cc.Record = true, true
+	cc.Sink = nil
+
+	var m *rt.Machine
+	var err error
+	switch app {
+	case "adaptive":
+		var r *adaptive.Result
+		if r, err = adaptive.Run(adaptive.Config{Machine: cc, Size: size, Iters: iters}); err == nil {
+			m = r.Machine
+		}
+	case "barnes":
+		var r *barnes.Result
+		if r, err = barnes.Run(barnes.Config{Machine: cc, Bodies: size, Iters: iters, SPMD: spmd}); err == nil {
+			m = r.Machine
+		}
+	case "water":
+		var r *water.Result
+		if r, err = water.Run(water.Config{Machine: cc, Molecules: size, Steps: iters, Splash: splash}); err == nil {
+			m = r.Machine
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("predict calibration: %w", err)
+	}
+	cal, err := predict.Calibrate(m, app)
+	if err != nil {
+		return err
+	}
+	pr, err := cal.Predict(predict.Target{BlockSize: mc.BlockSize})
+	if err != nil {
+		return fmt.Errorf("predicting %dB from the %dB calibration: %w", mc.BlockSize, cc.BlockSize, err)
+	}
+
+	fmt.Println()
+	fmt.Printf("analytical predictor (calibrated at %dB, %s protocol):\n", cc.BlockSize, mc.Protocol)
+	fmt.Printf("  predicted time    %v (simulated %v)\n", sim.Time(pr.ElapsedNS), simulated.Elapsed)
+	fmt.Printf("  remote-data wait  %v (simulated %v)\n", pr.Breakdown.RemoteWait, simulated.RemoteWait)
+	fmt.Printf("  pre-send          %v (simulated %v)\n", pr.Breakdown.Presend, simulated.Presend)
+	var table predict.ErrorTable
+	table.Add(app, fmt.Sprintf("%s/%s", app, mc.Protocol), mc.BlockSize,
+		pr.ElapsedNS, int64(simulated.Elapsed))
+	table.Render(os.Stdout)
+	return nil
 }
 
 // printPhases renders the per-phase breakdown when phases were recorded.

@@ -6,7 +6,7 @@
 //	           [-list] [-scale quick|paper] [-net cm5|now|hwdsm|cluster:<g>x<c>]
 //	           [-csv out.csv] [-json out.json]
 //	           [-engine serial|parallel] [-workers N] [-sched wheel|heap]
-//	           [-profile]
+//	           [-profile] [-predict]
 //	           [-kernel-bench out.json] [-kernel-filter re]
 //	           [-kernel-diff base.json] [-kernel-diff-out diff.json]
 //	           [-kernel-speedup]
@@ -26,6 +26,13 @@
 // an extra table and embedded in the -json output. Simulated results are
 // identical with or without it.
 //
+// -predict answers the figure 5-7 and sweep experiments from the
+// analytical predictor (internal/predict): one recorded calibration
+// simulation per program/protocol, every row extrapolated — no per-row
+// simulation. The run then appends the predict-error experiment, whose
+// predicted-vs-simulated error table prints and lands in the -json
+// artifact alongside the predicted rows.
+//
 // -engine parallel runs the simulation kernel's conservative parallel
 // engine (results are byte-identical to serial; only wall clock changes).
 // -workers caps its worker goroutines (default GOMAXPROCS). -sched heap
@@ -34,9 +41,12 @@
 //
 // -kernel-bench runs the kernel hot-path micro-benchmarks
 // (internal/kernelbench) plus a serial-vs-parallel wall-clock comparison
-// of figure5, writes them as JSON, and exits. The run fails (non-zero
-// exit) when a zero-alloc-guarded case allocates or a cross-case ratio
-// guard is exceeded (e.g. mesh8_parallel4 > 1.1x mesh8_serial).
+// of figure5 and a >=1000-configuration analytical-predictor sweep timed
+// against per-configuration simulation, writes them as JSON, and exits.
+// The run fails (non-zero exit) when a zero-alloc-guarded case
+// allocates, a cross-case ratio guard is exceeded (e.g. mesh8_parallel4
+// > 1.1x mesh8_serial), or the predictor sweep is less than 100x faster
+// than simulating.
 // -kernel-filter restricts the run to cases matching the regexp and
 // skips the figure5 wall-clock comparison — the CI regression diff uses
 // it to keep the job fast. -kernel-diff compares the fresh run against a
@@ -69,6 +79,7 @@ import (
 	"presto/internal/harness"
 	"presto/internal/kernelbench"
 	"presto/internal/network"
+	"presto/internal/predict"
 	"presto/internal/prof"
 	"presto/internal/rt"
 )
@@ -84,6 +95,10 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel-engine workers (0 = GOMAXPROCS)")
 	sched := flag.String("sched", "wheel", "kernel event scheduler: wheel or heap")
 	profile := flag.Bool("profile", false, "enable the causal profiler on the figure experiments: rows gain a validated attribution profile, rendered after the phase tables and exported in -json")
+	predictFlag := flag.Bool("predict", false, "answer the figure and sweep experiments from the analytical predictor (one calibration per program/protocol, no per-row simulation) and append the predictor-vs-simulation error table (predict-error) to the run and the -json artifact")
+	predictValidate := flag.String("predict-validate", "", "run the predictor validation gate — every figure 5-7 configuration plus a -predict-band chaos seed band at the 2x block-size extrapolation — write the error table CSV to this `file` and exit non-zero unless the mean absolute elapsed-time error is under 15%")
+	predictBand := flag.Int("predict-band", 100, "chaos seeds in the -predict-validate band")
+	predictWide := flag.String("predict-validate-wide", "", "with -predict-validate: also write the informational error table for the wider 4x/8x chaos extrapolations (reported, not gated) to this `file`")
 	kernelBench := flag.String("kernel-bench", "", "run kernel micro-benchmarks, write JSON to this file and exit")
 	kernelFilter := flag.String("kernel-filter", "", "run only kernel benchmark cases matching this `regexp` (skips the figure5 wall-clock comparison)")
 	kernelDiff := flag.String("kernel-diff", "", "compare the kernel benchmark run against this baseline JSON; fail on >25% ns/op regression in guarded cases (ns/op gating is skipped when the baseline host shape differs)")
@@ -116,6 +131,7 @@ func main() {
 		Workers: *workers,
 		Sched:   rt.SchedKind(*sched),
 		Profile: *profile,
+		Predict: *predictFlag,
 	}
 	if *netName != "" {
 		p, err := network.Preset(*netName)
@@ -128,6 +144,15 @@ func main() {
 			os.Exit(2)
 		}
 		opts.Net = p
+	}
+
+	if *predictValidate != "" {
+		if err := runPredictValidate(opts, *predictValidate, *predictWide, *predictBand); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			stopProf()
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *kernelBench != "" {
@@ -165,6 +190,22 @@ func main() {
 			os.Exit(2)
 		}
 		exps = []harness.Experiment{e}
+	}
+	if *predictFlag {
+		// -predict is a validation mode as much as a fast path: always
+		// finish with the predictor-vs-simulation error table so the run
+		// (and BENCH_results.json) carries its own accuracy evidence.
+		have := false
+		for _, e := range exps {
+			if e.ID == "predict-error" {
+				have = true
+			}
+		}
+		if !have {
+			if e, ok := harness.ByID("predict-error"); ok {
+				exps = append(exps, e)
+			}
+		}
 	}
 
 	var csv *os.File
@@ -225,6 +266,58 @@ func main() {
 	}
 }
 
+// predictValidateMaxMAE is the CI gate on the analytical predictor: the
+// mean absolute elapsed-time error over the figure 5-7 sweeps plus the
+// 2x-extrapolation chaos band must stay under 15% (DESIGN.md §13).
+const predictValidateMaxMAE = 15.0
+
+// runPredictValidate executes the predict-validate CI job: build the
+// gated error table (figures + shift-1 chaos band), write it as the
+// uploaded artifact, optionally record the wider informational band, and
+// fail the process when the gate is breached.
+func runPredictValidate(opts harness.Options, path, widePath string, seeds int) error {
+	table, err := harness.PredictValidation(opts, seeds)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	table.WriteCSV(f)
+	if err := f.Close(); err != nil {
+		return err
+	}
+	table.Render(os.Stdout)
+	fmt.Printf("wrote %s\n", path)
+
+	if widePath != "" {
+		wide, err := predict.ChaosBandShifts(seeds, []int{2, 3})
+		if err != nil {
+			return err
+		}
+		wf, err := os.Create(widePath)
+		if err != nil {
+			return err
+		}
+		wide.WriteCSV(wf)
+		if err := wf.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wide band (4x/8x, informational): mean absolute error %.2f%% over %d rows (max %.2f%%)\n",
+			wide.MAE(), len(wide.Rows), wide.MaxErr())
+		fmt.Printf("wrote %s\n", widePath)
+	}
+
+	if mae := table.MAE(); mae >= predictValidateMaxMAE {
+		return fmt.Errorf("predict-validate: mean absolute error %.2f%% over %d rows breaches the %.0f%% gate",
+			mae, len(table.Rows), predictValidateMaxMAE)
+	}
+	fmt.Printf("predict-validate: mean absolute error %.2f%% over %d rows — under the %.0f%% gate\n",
+		table.MAE(), len(table.Rows), predictValidateMaxMAE)
+	return nil
+}
+
 // errInterrupted marks a kernel-bench run stopped by SIGINT/SIGTERM;
 // the partial JSON document has already been written when it surfaces.
 var errInterrupted = errors.New("interrupted")
@@ -247,6 +340,11 @@ type kernelBenchDoc struct {
 	// experiment at quick scale (byte-identical results, different engines).
 	// Omitted under -kernel-filter.
 	Figure5 *figure5Result `json:"figure5,omitempty"`
+	// PredictSweep times a >=1000-configuration parameter sweep answered
+	// by the analytical predictor against the measured cost of simulating
+	// every configuration; the run fails unless the sweep is at least
+	// MinSpeedup (100x) faster. Omitted under -kernel-filter.
+	PredictSweep *predictSweepResult `json:"predict_sweep,omitempty"`
 	// Ratios are the cross-case performance guards (kernelbench.RatioGuards)
 	// evaluated on this run; a guard whose cases were filtered out is
 	// omitted rather than evaluated on stale numbers.
@@ -256,6 +354,12 @@ type kernelBenchDoc struct {
 	// a single-CPU host cannot show parallel speedup, so the guards are
 	// opt-in rather than part of every run.
 	Speedups []speedupResult `json:"speedups,omitempty"`
+}
+
+type predictSweepResult struct {
+	harness.SweepBench
+	MinSpeedup float64 `json:"min_speedup"`
+	OK         bool    `json:"ok"`
 }
 
 type ratioResult struct {
@@ -447,6 +551,17 @@ func (kb *kernelBenchRun) run() error {
 			return err
 		}
 		doc.Figure5 = fig5
+
+		ps, err := kb.predictSweep()
+		if err != nil {
+			return err
+		}
+		doc.PredictSweep = ps
+		if !ps.OK {
+			gateFailures = append(gateFailures, fmt.Sprintf(
+				"predict_sweep: %d-config sweep only %.1fx faster than simulating (want >= %.0fx)",
+				ps.Configs, ps.SweepSpeedup, ps.MinSpeedup))
+		}
 	}
 
 	if err := writeJSONFile(kb.path, &doc); err != nil {
@@ -508,6 +623,30 @@ func (kb *kernelBenchRun) figure5() (*figure5Result, error) {
 	}
 	fmt.Printf("figure5 wall clock: serial %.1fms, parallel(%d workers) %.1fms, speedup %.2fx on %d CPUs\n",
 		serialMS, workers, parallelMS, res.Speedup, numCPU)
+	return res, nil
+}
+
+// predictSweepMinSpeedup is the required wall-clock advantage of the
+// analytical predictor over per-configuration simulation on a large
+// sweep (the paper's motivating use case: answering parameter-space
+// questions without simulating each point).
+const (
+	predictSweepConfigs    = 1008
+	predictSweepMinSpeedup = 100
+)
+
+// predictSweep times the >=1000-configuration analytical sweep against
+// the measured per-configuration simulation cost.
+func (kb *kernelBenchRun) predictSweep() (*predictSweepResult, error) {
+	sb, err := harness.PredictSweepBench(harness.Options{Scale: kb.opts.Scale}, predictSweepConfigs)
+	if err != nil {
+		return nil, err
+	}
+	res := &predictSweepResult{SweepBench: *sb, MinSpeedup: predictSweepMinSpeedup}
+	res.OK = res.SweepSpeedup >= res.MinSpeedup
+	fmt.Printf("predict sweep: %d configs in %.1fms (calibration %.1fms) vs %.1fms/config simulated — %.0fx sweep, %.0fx amortized\n",
+		res.Configs, res.PredictTotalMS, res.CalibrationMS, res.SimPerConfigMS,
+		res.SweepSpeedup, res.AmortizedSpeedup)
 	return res, nil
 }
 

@@ -175,6 +175,33 @@ func ExecuteProfiled(s Spec, proto rt.ProtocolKind, engine rt.EngineKind, maxEve
 	return fp, p, nil
 }
 
+// ExecuteCalibration runs the spec once with both the causal profiler
+// and the communication recorder enabled and returns the machine, ready
+// to hand to predict.Calibrate. The fingerprint is discarded — callers
+// wanting differential checks should run ExecuteRun separately; a
+// calibration run is observation-identical to the plain run anyway.
+func ExecuteCalibration(s Spec, rc RunConfig) (*rt.Machine, error) {
+	cfg := rt.Config{
+		Nodes:     s.Nodes,
+		BlockSize: s.BlockSize,
+		Protocol:  rc.Protocol,
+		Engine:    rc.Engine,
+		Sched:     rc.Sched,
+		Storage:   rc.Storage,
+		Lookahead: rc.Lookahead,
+		NoSteal:   rc.NoSteal,
+		Workers:   rc.Workers,
+		MaxEvents: rc.MaxEvents,
+		Profile:   true,
+		Record:    true,
+	}
+	fp, m := runConfigured(s, cfg)
+	if m == nil {
+		return nil, fmt.Errorf("chaos: calibration run failed: %s", fp.Err)
+	}
+	return m, nil
+}
+
 func execute(s Spec, proto rt.ProtocolKind, engine rt.EngineKind, mutation string, maxEvents int64, storage blockstate.Kind, sched rt.SchedKind) Fingerprint {
 	fp, _ := run(s, proto, engine, mutation, maxEvents, storage, sched, false)
 	return fp

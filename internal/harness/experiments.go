@@ -172,16 +172,31 @@ func runFigure5(o Options) (*Result, error) {
 		{"C** unopt (256)", rt.ProtoStache, 256},
 		{"C** opt (256)", rt.ProtoPredictive, 256},
 	}
+	pc := newPredictor()
 	for _, v := range versions {
-		r, err := adaptive.Run(adaptiveCfg(o, v.proto, v.bs))
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", v.label, err)
-		}
-		row := Row{Label: v.label, BlockSize: v.bs, B: r.Breakdown, C: r.Counters, Phases: r.Machine.PhaseBreakdown()}
-		if err := o.attachProfile(&row, r.Machine, "adaptive"); err != nil {
-			return nil, err
+		var row Row
+		if o.Predict {
+			cal, err := pc.adaptive(o, v.proto)
+			if err != nil {
+				return nil, err
+			}
+			if row, err = predictedRow(cal, v.label, v.bs); err != nil {
+				return nil, err
+			}
+		} else {
+			r, err := adaptive.Run(adaptiveCfg(o, v.proto, v.bs))
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", v.label, err)
+			}
+			row = Row{Label: v.label, BlockSize: v.bs, B: r.Breakdown, C: r.Counters, Phases: r.Machine.PhaseBreakdown()}
+			if err := o.attachProfile(&row, r.Machine, "adaptive"); err != nil {
+				return nil, err
+			}
 		}
 		res.Rows = append(res.Rows, row)
+	}
+	if o.Predict {
+		predictNote(res, len(pc.cals))
 	}
 	bestOpt, _ := res.Best("C** opt")
 	bestUnopt, _ := res.Best("C** unopt")
@@ -208,16 +223,31 @@ func runFigure6(o Options) (*Result, error) {
 		{"C** opt (1024)", rt.ProtoPredictive, 1024, false},
 		{"SPMD write-update (1024)", rt.ProtoUpdate, 1024, true},
 	}
+	pc := newPredictor()
 	for _, v := range versions {
-		r, err := barnes.Run(barnesCfg(o, v.proto, v.bs, v.spmd))
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", v.label, err)
-		}
-		row := Row{Label: v.label, BlockSize: v.bs, B: r.Breakdown, C: r.Counters, Phases: r.Machine.PhaseBreakdown()}
-		if err := o.attachProfile(&row, r.Machine, "barnes"); err != nil {
-			return nil, err
+		var row Row
+		if o.Predict {
+			cal, err := pc.barnes(o, v.proto, v.spmd)
+			if err != nil {
+				return nil, err
+			}
+			if row, err = predictedRow(cal, v.label, v.bs); err != nil {
+				return nil, err
+			}
+		} else {
+			r, err := barnes.Run(barnesCfg(o, v.proto, v.bs, v.spmd))
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", v.label, err)
+			}
+			row = Row{Label: v.label, BlockSize: v.bs, B: r.Breakdown, C: r.Counters, Phases: r.Machine.PhaseBreakdown()}
+			if err := o.attachProfile(&row, r.Machine, "barnes"); err != nil {
+				return nil, err
+			}
 		}
 		res.Rows = append(res.Rows, row)
+	}
+	if o.Predict {
+		predictNote(res, len(pc.cals))
 	}
 	o32, _ := res.Find("C** opt (32)")
 	u32, _ := res.Find("C** unopt (32)")
@@ -244,16 +274,28 @@ func runFigure7(o Options) (*Result, error) {
 		{"C** unopt", rt.ProtoStache, false},
 		{"Splash", rt.ProtoStache, true},
 	}
+	pc := newPredictor()
 	for _, v := range versions {
 		var best *Row
 		for _, bs := range []int{32, 128, 256} {
-			r, err := water.Run(waterCfg(o, v.proto, bs, v.splash))
-			if err != nil {
-				return nil, fmt.Errorf("%s(%d): %w", v.prefix, bs, err)
-			}
-			row := Row{Label: fmt.Sprintf("%s (%d)", v.prefix, bs), BlockSize: bs, B: r.Breakdown, C: r.Counters, Phases: r.Machine.PhaseBreakdown()}
-			if err := o.attachProfile(&row, r.Machine, "water"); err != nil {
-				return nil, err
+			var row Row
+			if o.Predict {
+				cal, err := pc.water(o, v.proto, v.splash)
+				if err != nil {
+					return nil, err
+				}
+				if row, err = predictedRow(cal, fmt.Sprintf("%s (%d)", v.prefix, bs), bs); err != nil {
+					return nil, err
+				}
+			} else {
+				r, err := water.Run(waterCfg(o, v.proto, bs, v.splash))
+				if err != nil {
+					return nil, fmt.Errorf("%s(%d): %w", v.prefix, bs, err)
+				}
+				row = Row{Label: fmt.Sprintf("%s (%d)", v.prefix, bs), BlockSize: bs, B: r.Breakdown, C: r.Counters, Phases: r.Machine.PhaseBreakdown()}
+				if err := o.attachProfile(&row, r.Machine, "water"); err != nil {
+					return nil, err
+				}
 			}
 			if best == nil || row.Total() < best.Total() {
 				b := row
@@ -261,6 +303,9 @@ func runFigure7(o Options) (*Result, error) {
 			}
 		}
 		res.Rows = append(res.Rows, *best)
+	}
+	if o.Predict {
+		predictNote(res, len(pc.cals))
 	}
 	opt, _ := res.Best("C** opt")
 	unopt, _ := res.Best("C** unopt")
@@ -316,20 +361,37 @@ func runInspector(o Options) (*Result, error) {
 
 func runSweep(o Options) (*Result, error) {
 	res := &Result{ID: "sweep", Title: "Block-size sweep (Water), unopt vs opt"}
+	pc := newPredictor()
 	for _, bs := range []int{32, 64, 128, 256, 1024} {
 		for _, v := range []struct {
 			label string
 			proto rt.ProtocolKind
 		}{{"unopt", rt.ProtoStache}, {"opt", rt.ProtoPredictive}} {
+			label := fmt.Sprintf("water %s (%d)", v.label, bs)
+			if o.Predict {
+				cal, err := pc.water(o, v.proto, false)
+				if err != nil {
+					return nil, err
+				}
+				row, err := predictedRow(cal, label, bs)
+				if err != nil {
+					return nil, err
+				}
+				res.Rows = append(res.Rows, row)
+				continue
+			}
 			r, err := water.Run(waterCfg(o, v.proto, bs, false))
 			if err != nil {
 				return nil, err
 			}
 			res.Rows = append(res.Rows, Row{
-				Label: fmt.Sprintf("water %s (%d)", v.label, bs), BlockSize: bs,
+				Label: label, BlockSize: bs,
 				B: r.Breakdown, C: r.Counters, Phases: r.Machine.PhaseBreakdown(),
 			})
 		}
+	}
+	if o.Predict {
+		predictNote(res, len(pc.cals))
 	}
 	res.AddNote("pre-send benefit is largest at the smallest blocks; large blocks close the gap by exploiting spatial locality (paper §5.4)")
 	return res, nil

@@ -16,6 +16,7 @@ import (
 
 	"presto/internal/causal"
 	"presto/internal/network"
+	"presto/internal/predict"
 	"presto/internal/rt"
 	"presto/internal/sim"
 )
@@ -62,6 +63,13 @@ type Options struct {
 	// builds; figure rows then carry a validated attribution profile
 	// (rendered after the phase table and exported in the JSON results).
 	Profile bool
+	// Predict switches the figure 5-7 and sweep experiments onto the
+	// analytical fast path (internal/predict): one recorded calibration
+	// simulation per (application, protocol) pair, every other block size
+	// extrapolated without simulating. Rows at the calibration block size
+	// are bit-identical to the simulated rows (the predictor's identity
+	// guarantee); extrapolated rows stay within the validated error band.
+	Predict bool
 }
 
 func (o Options) withDefaults() Options {
@@ -132,6 +140,10 @@ type Result struct {
 	// Engine records the kernel engine the experiment ran under. It is
 	// metadata only: rows and CSV output are engine-independent.
 	Engine rt.EngineKind
+	// Error is the predicted-vs-simulated comparison table produced by the
+	// predict-error experiment; when set it replaces Rows as the CSV
+	// payload (the table is the experiment's artifact).
+	Error *predict.ErrorTable
 }
 
 // Best returns the fastest row matching the label prefix.
@@ -172,6 +184,14 @@ func (res *Result) Render(w io.Writer) {
 	fmt.Fprintf(w, "== %s: %s ==\n\n", res.ID, res.Title)
 	if res.Engine != "" && res.Engine != rt.EngineSerial {
 		fmt.Fprintf(w, "(engine: %s)\n\n", res.Engine)
+	}
+	if res.Error != nil {
+		res.Error.Render(w)
+		for _, n := range res.Notes {
+			fmt.Fprintf(w, "  - %s\n", n)
+		}
+		fmt.Fprintln(w)
+		return
 	}
 	if len(res.Rows) == 0 {
 		for _, n := range res.Notes {
@@ -288,7 +308,13 @@ func (res *Result) renderAttribution(w io.Writer) {
 }
 
 // CSV renders the rows as comma-separated values for external plotting.
+// A result carrying a predicted-vs-simulated error table renders that
+// table instead — it is the experiment's payload.
 func (res *Result) CSV(w io.Writer) {
+	if res.Error != nil {
+		res.Error.WriteCSV(w)
+		return
+	}
 	fmt.Fprintln(w, "experiment,version,block_bytes,total_s,remote_wait_s,presend_s,compute_synch_s,read_faults,write_faults,msgs,presends,conflicts")
 	for _, r := range res.Rows {
 		fmt.Fprintf(w, "%s,%s,%d,%.6f,%.6f,%.6f,%.6f,%d,%d,%d,%d,%d\n",

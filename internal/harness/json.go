@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 
+	"presto/internal/predict"
 	"presto/internal/rt"
 )
 
@@ -33,10 +34,13 @@ type resultJSON struct {
 	Title string    `json:"title"`
 	Rows  []rowJSON `json:"rows"`
 	Notes []string  `json:"notes,omitempty"`
+	// Error is the predicted-vs-simulated comparison table (the
+	// predict-error experiment and paperbench -predict).
+	Error *predict.ErrorTable `json:"predict_error,omitempty"`
 }
 
 func (res *Result) toJSON() resultJSON {
-	out := resultJSON{ID: res.ID, Title: res.Title, Notes: res.Notes}
+	out := resultJSON{ID: res.ID, Title: res.Title, Notes: res.Notes, Error: res.Error}
 	for _, r := range res.Rows {
 		out.Rows = append(out.Rows, rowJSON{
 			Label:        r.Label,

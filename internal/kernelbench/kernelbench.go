@@ -27,7 +27,8 @@ type Case struct {
 
 // Cases returns the kernel and protocol hot-path workloads in stable
 // order: the simulation-kernel paths first, then the block-state
-// protocol paths (protocol.go).
+// protocol paths (protocol.go) and the analytical-predictor fast path
+// (predict.go).
 func Cases() []Case {
 	return append([]Case{
 		{"send_recv", benchSendRecv, true},
@@ -45,7 +46,7 @@ func Cases() []Case {
 		{"mesh8_dense_parallel4", benchDenseMesh(4), false},
 		{"cluster8x2_dense_serial", benchClusterDense(0), false},
 		{"cluster8x2_dense_parallel4", benchClusterDense(4), false},
-	}, protocolCases()...)
+	}, append(protocolCases(), predictCases()...)...)
 }
 
 // RatioGuard bounds the ratio of two cases' ns/op; paperbench

@@ -1,0 +1,54 @@
+package kernelbench
+
+import (
+	"testing"
+
+	"presto/internal/network"
+	"presto/internal/predict"
+)
+
+// predictCases returns the analytical-predictor workloads. The predictor
+// answers parameter sweeps in place of simulations, so its per-target
+// cost is a kernel hot path in its own right: predict_sweep256
+// extrapolates one calibration to 256 configurations spanning every
+// block-size shift, four interconnect presets and a range of node
+// counts per operation, and is zero-alloc guarded — the fast path must
+// never grow a hidden per-target allocation.
+func predictCases() []Case {
+	return []Case{
+		{"predict_sweep256", benchPredictSweep256, true},
+	}
+}
+
+// sink defeats dead-code elimination of the benchmark loop.
+var sink int64
+
+func benchPredictSweep256(b *testing.B) {
+	cal := predict.Synthetic(16, 4)
+	nets := make([]*network.Params, 0, 4)
+	for _, name := range []string{"cm5", "now", "hwdsm", "cluster:4x8"} {
+		p, err := network.Preset(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nets = append(nets, p)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sum int64
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 256; j++ {
+			t := predict.Target{
+				BlockSize: cal.BlockSize << (j % (predict.MaxShift + 1)),
+				Net:       nets[(j/(predict.MaxShift+1))%len(nets)],
+				Nodes:     2 + j%31,
+			}
+			pr, err := cal.Predict(t)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sum += pr.ElapsedNS
+		}
+	}
+	sink = sum
+}

@@ -1,0 +1,93 @@
+package predict
+
+import (
+	"fmt"
+	"io"
+)
+
+// ErrorRow is one predicted-vs-simulated comparison.
+type ErrorRow struct {
+	Experiment  string  `json:"experiment"`
+	Label       string  `json:"label"`
+	BlockSize   int     `json:"block_bytes"`
+	PredictedNS int64   `json:"predicted_ns"`
+	SimulatedNS int64   `json:"simulated_ns"`
+	AbsPctErr   float64 `json:"abs_pct_err"`
+}
+
+// ErrorTable collects predicted-vs-simulated rows and summarizes the
+// mean absolute elapsed-time error — the quantity the CI predict-validate
+// job gates (<15%, DESIGN.md §13).
+type ErrorTable struct {
+	Rows []ErrorRow `json:"rows"`
+}
+
+// Add appends a comparison, computing its absolute percentage error.
+func (t *ErrorTable) Add(experiment, label string, blockSize int, predictedNS, simulatedNS int64) {
+	r := ErrorRow{
+		Experiment:  experiment,
+		Label:       label,
+		BlockSize:   blockSize,
+		PredictedNS: predictedNS,
+		SimulatedNS: simulatedNS,
+	}
+	if simulatedNS != 0 {
+		r.AbsPctErr = 100 * abs(float64(predictedNS)-float64(simulatedNS)) / float64(simulatedNS)
+	}
+	t.Rows = append(t.Rows, r)
+}
+
+// MAE returns the mean absolute percentage error across rows (0 when
+// empty).
+func (t *ErrorTable) MAE() float64 {
+	if len(t.Rows) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range t.Rows {
+		sum += r.AbsPctErr
+	}
+	return sum / float64(len(t.Rows))
+}
+
+// MaxErr returns the largest absolute percentage error across rows.
+func (t *ErrorTable) MaxErr() float64 {
+	var max float64
+	for _, r := range t.Rows {
+		if r.AbsPctErr > max {
+			max = r.AbsPctErr
+		}
+	}
+	return max
+}
+
+// WriteCSV renders the table in a fixed column order; output is
+// deterministic for a fixed row set, so goldens can lock it byte for
+// byte.
+func (t *ErrorTable) WriteCSV(w io.Writer) {
+	fmt.Fprintln(w, "experiment,version,block_bytes,predicted_s,simulated_s,abs_pct_err")
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%s,%s,%d,%.6f,%.6f,%.2f\n",
+			r.Experiment, r.Label, r.BlockSize,
+			float64(r.PredictedNS)/1e9, float64(r.SimulatedNS)/1e9, r.AbsPctErr)
+	}
+}
+
+// Render prints the human-readable error table plus the summary line.
+func (t *ErrorTable) Render(w io.Writer) {
+	fmt.Fprintf(w, "%-14s %-28s %6s %14s %14s %8s\n",
+		"experiment", "version", "block", "predicted", "simulated", "err")
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-14s %-28s %6d %14d %14d %7.2f%%\n",
+			r.Experiment, r.Label, r.BlockSize, r.PredictedNS, r.SimulatedNS, r.AbsPctErr)
+	}
+	fmt.Fprintf(w, "\nmean absolute error %.2f%% over %d rows (max %.2f%%)\n",
+		t.MAE(), len(t.Rows), t.MaxErr())
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

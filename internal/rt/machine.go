@@ -155,6 +155,11 @@ type Config struct {
 	// emitting more binding wakes than the cap still profiles, but the
 	// critical-path walk is marked truncated.
 	ProfileCap int
+	// Record attaches a communication recorder to every node, capturing
+	// per-phase fault/pre-send/traffic schedules for the analytical
+	// predictor (internal/predict). Observation only: simulated results
+	// are identical either way.
+	Record bool
 }
 
 // Chaos mutations accepted by Config.ChaosMutation.
@@ -317,6 +322,9 @@ func (m *Machine) Run(prog Program) error {
 		}
 		n.Trace = sink
 		n.UseMetrics(m.Reg)
+		if c.Record {
+			n.Rec = tempest.NewCommRecord()
+		}
 		m.Nodes[i] = n
 	}
 	for _, n := range m.Nodes {

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPredictHashDisjoint pins the provenance guarantee: a predicted
+// experiment and its simulated twin are different cache identities by
+// construction, so the result cache can never serve one for the other.
+func TestPredictHashDisjoint(t *testing.T) {
+	sim, err := Spec{Kind: KindExperiment, Experiment: "figure5"}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := Spec{Kind: KindExperiment, Experiment: "figure5", Predict: true}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Hash() == pred.Hash() {
+		t.Fatalf("predict flag does not split the spec hash:\n%s\n%s",
+			sim.Canonical(), pred.Canonical())
+	}
+	if !strings.Contains(string(pred.Canonical()), `"predict":true`) {
+		t.Fatalf("predict missing from canonical encoding: %s", pred.Canonical())
+	}
+}
+
+// TestPredictNormalizeRejections: predict is meaningful only for the
+// figure/sweep experiments — anywhere else it would mint a second cache
+// identity for an identical result, so normalization rejects it.
+func TestPredictNormalizeRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"chaos", Spec{Kind: KindChaos, Seed: 1, Predict: true}, "experiment fields set"},
+		{"non-capable experiment", Spec{Kind: KindExperiment, Experiment: "table1", Predict: true}, "predict is only supported"},
+	}
+	for _, c := range cases {
+		if _, err := c.spec.Normalize(); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestPredictMetrics asserts the /metricsz provenance split: each
+// completed job counts as exactly one of predicted/simulated, and
+// predicted jobs feed the dedicated latency histogram.
+func TestPredictMetrics(t *testing.T) {
+	svc := NewService(Config{
+		Workers: 1,
+		Runner: func(ctx context.Context, spec Spec) *Result {
+			return &Result{}
+		},
+	})
+	defer svc.Close()
+
+	pred, err := Spec{Kind: KindExperiment, Experiment: "figure5", Predict: true}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := Spec{Kind: KindExperiment, Experiment: "figure5"}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, s := range []Spec{pred, pred, sim} {
+		if _, err := svc.Do(s).Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The second predict submission is a cache hit — only two jobs ran.
+	if got := counter(svc, "serve/jobs_predicted"); got != 1 {
+		t.Fatalf("jobs_predicted = %d, want 1", got)
+	}
+	if got := counter(svc, "serve/jobs_simulated"); got != 1 {
+		t.Fatalf("jobs_simulated = %d, want 1", got)
+	}
+	doc := svc.MetricsSnapshot()
+	if doc.PredictLatency.P50NS <= 0 || doc.PredictLatency.P99NS < doc.PredictLatency.P50NS {
+		t.Fatalf("predict latency quantiles %+v", doc.PredictLatency)
+	}
+	names := map[string]bool{}
+	for _, c := range doc.Metrics.Counters {
+		names[c.Name] = true
+	}
+	for _, want := range []string{"serve/jobs_predicted", "serve/jobs_simulated"} {
+		if !names[want] {
+			t.Fatalf("snapshot missing %s", want)
+		}
+	}
+}
+
+// TestServedPredictErrorMatchesGolden closes the ISSUE's identity loop
+// from the HTTP side: the predict-error experiment served over the wire
+// must be byte-identical to the golden CSV the in-process harness test
+// locks (internal/harness/testdata/golden/predict-error.csv).
+func TestServedPredictErrorMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("predict-error simulates every figure target (tens of seconds)")
+	}
+	want, err := os.ReadFile(filepath.Join("..", "harness", "testdata", "golden", "predict-error.csv"))
+	if err != nil {
+		t.Fatalf("missing harness golden (regenerate with go test ./internal/harness -run PredictErrorGolden -update): %v", err)
+	}
+
+	_, cl := newTestServer(t, Config{Workers: 1})
+	req := BatchRequest{Specs: []Spec{{Kind: KindExperiment, Experiment: "predict-error"}}}
+	var got *Result
+	err = cl.Batch(context.Background(), req, func(r *Result) error { got = r; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Err != "" || got.Experiment == nil {
+		t.Fatalf("batch result: %+v", got)
+	}
+	if got.Experiment.CSV != string(want) {
+		t.Fatalf("served predict-error CSV diverges from golden:\n--- served\n%s--- golden\n%s",
+			got.Experiment.CSV, want)
+	}
+}

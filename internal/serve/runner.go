@@ -112,6 +112,7 @@ func runExperiment(spec Spec) *Result {
 		NoSteal:   spec.NoSteal,
 		Sched:     rt.SchedKind(spec.Sched),
 		Profile:   spec.Profile,
+		Predict:   spec.Predict,
 	}
 	if spec.Net != "" {
 		p, err := network.Preset(spec.Net)

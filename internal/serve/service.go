@@ -58,6 +58,14 @@ type Service struct {
 	evictions *metrics.Counter
 	depth     *metrics.Counter
 	latency   *metrics.Histogram
+
+	// Predictor-vs-simulator provenance split: every completed job counts
+	// as exactly one of predicted/simulated (by its spec's predict flag),
+	// and predicted jobs additionally feed a dedicated latency histogram —
+	// the fast path's speedup is directly readable off /metricsz.
+	predicted   *metrics.Counter
+	simulated   *metrics.Counter
+	predLatency *metrics.Histogram
 }
 
 // flight is one in-progress job shared by every coalesced waiter.
@@ -93,6 +101,10 @@ func NewService(cfg Config) *Service {
 		evictions: reg.Counter("serve/evictions"),
 		depth:     reg.Counter("serve/queue_depth"),
 		latency:   reg.Histogram("serve/job_latency_ns"),
+
+		predicted:   reg.Counter("serve/jobs_predicted"),
+		simulated:   reg.Counter("serve/jobs_simulated"),
+		predLatency: reg.Histogram("serve/predict_latency_ns"),
 	}
 	if s.runner == nil {
 		s.runner = Run
@@ -172,7 +184,14 @@ func (s *Service) runJob(spec Spec, hash string, fl *flight) {
 		s.errors.Inc()
 	}
 	s.jobs.Inc()
-	s.latency.Observe(time.Since(start).Nanoseconds())
+	elapsed := time.Since(start).Nanoseconds()
+	s.latency.Observe(elapsed)
+	if spec.Predict {
+		s.predicted.Inc()
+		s.predLatency.Observe(elapsed)
+	} else {
+		s.simulated.Inc()
+	}
 	delete(s.inflight, hash)
 	s.mu.Unlock()
 
@@ -234,10 +253,14 @@ type LatencyQuantiles struct {
 
 // MetricsDoc is the /metricsz body.
 type MetricsDoc struct {
-	Metrics      *metrics.Snapshot `json:"metrics"`
-	JobLatency   LatencyQuantiles  `json:"job_latency"`
-	CacheEntries int               `json:"cache_entries"`
-	CacheBytes   int64             `json:"cache_bytes"`
+	Metrics    *metrics.Snapshot `json:"metrics"`
+	JobLatency LatencyQuantiles  `json:"job_latency"`
+	// PredictLatency summarizes the predictor-backed jobs' wall clock
+	// (serve/predict_latency_ns); against JobLatency it shows the fast
+	// path's speedup over full simulation.
+	PredictLatency LatencyQuantiles `json:"predict_latency"`
+	CacheEntries   int              `json:"cache_entries"`
+	CacheBytes     int64            `json:"cache_bytes"`
 }
 
 // MetricsSnapshot renders the pool's instruments. The queue-depth gauge
@@ -253,6 +276,10 @@ func (s *Service) MetricsSnapshot() *MetricsDoc {
 		JobLatency: LatencyQuantiles{
 			P50NS: s.latency.Quantile(0.50),
 			P99NS: s.latency.Quantile(0.99),
+		},
+		PredictLatency: LatencyQuantiles{
+			P50NS: s.predLatency.Quantile(0.50),
+			P99NS: s.predLatency.Quantile(0.99),
 		},
 		CacheEntries: s.cache.Len(),
 		CacheBytes:   s.cache.Bytes(),

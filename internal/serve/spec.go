@@ -65,6 +65,13 @@ type Spec struct {
 	// Experiment job shape.
 	Experiment string `json:"experiment,omitempty"`
 	Profile    bool   `json:"profile,omitempty"`
+	// Predict routes the figure 5-7 and sweep experiments through the
+	// analytical fast path (internal/predict) instead of per-row
+	// simulation. The field is part of the canonical encoding, so a
+	// predicted result and a simulated result of the same experiment hash
+	// differently by construction — the cache can never serve one for the
+	// other (provenance disjointness).
+	Predict bool `json:"predict,omitempty"`
 
 	// Execution knobs shared by both kinds.
 	Scale     string `json:"scale,omitempty"`
@@ -118,7 +125,7 @@ func (s Spec) normalizeChaos() (Spec, error) {
 	if s.MaxNodes < 0 || s.MaxPhases < 0 || s.MaxIters < 0 || s.MaxBlocks < 0 {
 		return s, fmt.Errorf("serve: chaos spec: negative derivation cap")
 	}
-	if s.Experiment != "" || s.Profile {
+	if s.Experiment != "" || s.Profile || s.Predict {
 		return s, fmt.Errorf("serve: chaos spec: experiment fields set")
 	}
 	if s.chaosDiff() {
@@ -187,6 +194,9 @@ func (s Spec) normalizeExperiment() (Spec, error) {
 	case "quick", "paper":
 	default:
 		return s, fmt.Errorf("serve: experiment spec: unknown scale %q (want quick or paper)", s.Scale)
+	}
+	if s.Predict && !harness.PredictCapable(s.Experiment) {
+		return s, fmt.Errorf("serve: experiment spec: predict is only supported for the figure and sweep experiments (not %q)", s.Experiment)
 	}
 	var err error
 	if s.Engine, err = parseKind(rt.ParseEngine(s.Engine)); err != nil {

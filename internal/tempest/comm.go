@@ -1,0 +1,68 @@
+package tempest
+
+import (
+	"presto/internal/memory"
+	"presto/internal/sim"
+)
+
+// AccessEv is one shared-memory access (load, store or RMW) in a node's
+// calibration trace: the virtual time it was issued, the block it
+// touched (at the calibration block size) and whether it needed write
+// access. The analytical predictor (internal/predict) merges the
+// per-node traces by time and replays a coherence automaton at coarser
+// block granularities to derive fault counts without re-simulating.
+type AccessEv struct {
+	At       sim.Time
+	StallCum sim.Time // node's cumulative fault wait before this issue
+	Block    memory.Block
+	Phase    int32
+	Iter     int32
+	Write    bool
+}
+
+// CommRecord captures one node's memory behavior during a calibration
+// run for the analytical predictor: the time-ordered access trace plus
+// per-phase pre-send arrivals. Recording is observation only — it
+// charges no virtual time and never perturbs the simulation — and all
+// state is updated exclusively by the owning node's processors, which
+// share a lane under the parallel engine, so no synchronization is
+// needed (the same argument as Stats).
+type CommRecord struct {
+	// Accesses is the node's access trace in issue order (times are
+	// nondecreasing: each compute processor issues sequentially).
+	Accesses []AccessEv
+	// Presend maps a parallel-phase ID (-1 = outside any phase) to the
+	// arrival count of each pre-sent block installed at this node.
+	Presend map[int]map[memory.Block]int64
+
+	stallCum sim.Time
+}
+
+// NewCommRecord returns an empty recorder.
+func NewCommRecord() *CommRecord {
+	return &CommRecord{Presend: make(map[int]map[memory.Block]int64)}
+}
+
+// NoteAccess appends one access to the trace. Called once per accessor
+// invocation, before the hit check — fault retries are not re-counted.
+func (r *CommRecord) NoteAccess(phase, iter int, at sim.Time, b memory.Block, write bool) {
+	r.Accesses = append(r.Accesses, AccessEv{
+		At: at, StallCum: r.stallCum, Block: b,
+		Phase: int32(phase), Iter: int32(iter), Write: write,
+	})
+}
+
+// NoteStall accumulates one resolved fault's wait time, letting the
+// replay subtract calibration-size stalls from the recorded timeline
+// (subtracting At-StallCum leaves pure compute progression).
+func (r *CommRecord) NoteStall(dt sim.Time) { r.stallCum += dt }
+
+// NotePresend records one pre-send arrival for block b.
+func (r *CommRecord) NotePresend(phase int, b memory.Block) {
+	m := r.Presend[phase]
+	if m == nil {
+		m = make(map[memory.Block]int64)
+		r.Presend[phase] = m
+	}
+	m[b]++
+}

@@ -121,6 +121,12 @@ type Node struct {
 	// Met is the node's metric instrument set (never nil).
 	Met *Metrics
 
+	// Rec, when non-nil, records the node's communication schedule for
+	// the analytical predictor (rt.Config.Record). Updated only by this
+	// node's own processors, which share a lane under the parallel
+	// engine, so recording is race-free without synchronization.
+	Rec *CommRecord
+
 	// Prof, when non-nil, maps a phase ID (-1 = between phases) to the
 	// attribution slot the compute processor's time is charged into. The
 	// runtime installs it when causal profiling is on; BeginPhaseMetrics/
@@ -220,6 +226,9 @@ func (n *Node) NotePresendArrival(b memory.Block) {
 	n.Met.PresendsIn.Inc()
 	if n.curPhase != nil {
 		n.curPhase.PresendsIn++
+	}
+	if n.Rec != nil {
+		n.Rec.NotePresend(n.phaseID, b)
 	}
 	if wb, waiting := n.FaultWaitBlock(); waiting && wb == b {
 		n.Met.PresendsRaced.Inc()
@@ -411,6 +420,9 @@ func (n *Node) fault(p *sim.Proc, a memory.Addr, write bool) {
 	dt := p.Now() - start
 	n.Stats.RemoteWait += dt
 	n.Met.FaultLatency.Observe(int64(dt))
+	if n.Rec != nil {
+		n.Rec.NoteStall(dt)
+	}
 	if ps := n.curPhase; ps != nil {
 		ps.RemoteWaitNS += int64(dt)
 		if write {
@@ -429,6 +441,9 @@ func (n *Node) fault(p *sim.Proc, a memory.Addr, write bool) {
 // ReadF64 performs a shared-memory load of a float64 on compute processor
 // p, faulting into the protocol as needed.
 func (n *Node) ReadF64(p *sim.Proc, a memory.Addr) float64 {
+	if n.Rec != nil {
+		n.Rec.NoteAccess(n.phaseID, n.phaseIter, p.Now(), n.AS.BlockOf(a), false)
+	}
 	for {
 		if v, ok := n.Store.LoadF64(a); ok {
 			if n.pendingUse.Count() > 0 {
@@ -445,6 +460,9 @@ func (n *Node) ReadF64(p *sim.Proc, a memory.Addr) float64 {
 
 // WriteF64 performs a shared-memory store of a float64.
 func (n *Node) WriteF64(p *sim.Proc, a memory.Addr, v float64) {
+	if n.Rec != nil {
+		n.Rec.NoteAccess(n.phaseID, n.phaseIter, p.Now(), n.AS.BlockOf(a), true)
+	}
 	for {
 		if n.Store.StoreF64(a, v) {
 			if n.pendingUse.Count() > 0 {
@@ -464,6 +482,9 @@ func (n *Node) WriteF64(p *sim.Proc, a memory.Addr, v float64) {
 // single non-yielding step, so no other node's write can interleave —
 // the shared-memory analogue of a lock-protected update.
 func (n *Node) RMWF64(p *sim.Proc, a memory.Addr, fn func(v float64) float64) {
+	if n.Rec != nil {
+		n.Rec.NoteAccess(n.phaseID, n.phaseIter, p.Now(), n.AS.BlockOf(a), true)
+	}
 	for {
 		if v, ok := n.Store.LoadF64(a); ok {
 			if n.Store.StoreF64(a, fn(v)) {
@@ -482,6 +503,9 @@ func (n *Node) RMWF64(p *sim.Proc, a memory.Addr, fn func(v float64) float64) {
 
 // ReadU64 performs a shared-memory load of a uint64.
 func (n *Node) ReadU64(p *sim.Proc, a memory.Addr) uint64 {
+	if n.Rec != nil {
+		n.Rec.NoteAccess(n.phaseID, n.phaseIter, p.Now(), n.AS.BlockOf(a), false)
+	}
 	for {
 		if v, ok := n.Store.LoadU64(a); ok {
 			if n.pendingUse.Count() > 0 {
@@ -498,6 +522,9 @@ func (n *Node) ReadU64(p *sim.Proc, a memory.Addr) uint64 {
 
 // WriteU64 performs a shared-memory store of a uint64.
 func (n *Node) WriteU64(p *sim.Proc, a memory.Addr, v uint64) {
+	if n.Rec != nil {
+		n.Rec.NoteAccess(n.phaseID, n.phaseIter, p.Now(), n.AS.BlockOf(a), true)
+	}
 	for {
 		if n.Store.StoreU64(a, v) {
 			if n.pendingUse.Count() > 0 {
@@ -514,6 +541,9 @@ func (n *Node) WriteU64(p *sim.Proc, a memory.Addr, v uint64) {
 
 // ReadU32 performs a shared-memory load of a uint32.
 func (n *Node) ReadU32(p *sim.Proc, a memory.Addr) uint32 {
+	if n.Rec != nil {
+		n.Rec.NoteAccess(n.phaseID, n.phaseIter, p.Now(), n.AS.BlockOf(a), false)
+	}
 	for {
 		if v, ok := n.Store.LoadU32(a); ok {
 			if n.pendingUse.Count() > 0 {
@@ -530,6 +560,9 @@ func (n *Node) ReadU32(p *sim.Proc, a memory.Addr) uint32 {
 
 // WriteU32 performs a shared-memory store of a uint32.
 func (n *Node) WriteU32(p *sim.Proc, a memory.Addr, v uint32) {
+	if n.Rec != nil {
+		n.Rec.NoteAccess(n.phaseID, n.phaseIter, p.Now(), n.AS.BlockOf(a), true)
+	}
 	for {
 		if n.Store.StoreU32(a, v) {
 			if n.pendingUse.Count() > 0 {
