@@ -5,7 +5,7 @@
 // Usage:
 //
 //	dsmrun -app adaptive|barnes|water [-protocol stache|predictive|update]
-//	       [-nodes N] [-block B] [-net cm5|now|hwdsm|cluster:<g>x<c>] [-spmd] [-splash] [-size N] [-iters N]
+//	       [-nodes N] [-block B] [-net <preset>] [-aggregate] [-spmd] [-splash] [-size N] [-iters N]
 //	       [-metrics out.json] [-metrics-out out.json]
 //	       [-profile] [-profile-out profile.json] [-predict]
 //	       [-trace-out t.json] [-trace-format chrome|jsonl]
@@ -33,6 +33,15 @@
 // chrome://tracing or https://ui.perfetto.dev; jsonl produces one JSON
 // object per event. Virtual time makes both byte-identical across
 // identical runs.
+//
+// -net accepts every topology preset (network.Grammars lists them):
+// flat machines (cm5, now, hwdsm), two- and three-level clusters
+// (cluster:<groups>x<cores>, cluster:<groups>x<subgroups>x<cores>),
+// 2D meshes (mesh:<w>x<h>) and fat trees (fattree:<levels>).
+// -aggregate enables node-leader message aggregation on hierarchical
+// machines: cross-group bulk traffic bound for one remote group is
+// coalesced into a single leader-to-leader message. Timing changes;
+// final memory contents do not.
 //
 // -engine parallel runs the simulation on the kernel's conservative
 // parallel engine; every output (breakdown, metrics, traces) is
@@ -66,7 +75,8 @@ func main() {
 	protocol := flag.String("protocol", "stache", "coherence protocol")
 	nodes := flag.Int("nodes", 32, "simulated node count")
 	block := flag.Int("block", 32, "cache block size in bytes")
-	netName := flag.String("net", "cm5", "interconnect preset: cm5, now, hwdsm or cluster:<groups>x<cores>")
+	netName := flag.String("net", "cm5", "interconnect preset: "+network.Grammars())
+	aggregate := flag.Bool("aggregate", false, "enable node-leader message aggregation (hierarchical -net presets)")
 	size := flag.Int("size", 0, "problem size (mesh edge / bodies / molecules); 0 = paper size")
 	iters := flag.Int("iters", 0, "iterations; 0 = paper count")
 	spmd := flag.Bool("spmd", false, "barnes: hand-optimized SPMD baseline (use -protocol update)")
@@ -100,7 +110,7 @@ func main() {
 	mc := rt.Config{
 		Nodes: *nodes, BlockSize: *block, Protocol: rt.ProtocolKind(*protocol),
 		Net: netParams, Engine: rt.EngineKind(*engine), Workers: *workers,
-		Sched: rt.SchedKind(*sched), Profile: *profile,
+		Sched: rt.SchedKind(*sched), Profile: *profile, Aggregate: *aggregate,
 	}
 	if *metricsOut == "" {
 		*metricsOut = *metricsOut2
@@ -227,6 +237,10 @@ func main() {
 	fmt.Printf("  compute+synch     %v (compute %v, synch %v)\n", b.ComputeSynch(), b.Compute, b.Sync)
 	fmt.Printf("  faults            %d read, %d write\n", c.ReadFaults, c.WriteFaults)
 	fmt.Printf("  messages          %d (%.2f MB)\n", c.MsgsSent, float64(c.BytesSent)/1e6)
+	if c.AggMsgs > 0 {
+		fmt.Printf("  aggregates        %d leader-to-leader (%d entries, %d cross-group msgs)\n",
+			c.AggMsgs, c.AggEntriesOut, c.CrossMsgs)
+	}
 	fmt.Printf("  pre-sends         %d blocks (%d bulk messages, %d skipped, %d conflicts)\n",
 		c.PresendsSent, c.BulkMsgs, c.PresendsSkipped, c.Conflicts)
 	fmt.Printf("  %s\n", extra)

@@ -2,8 +2,8 @@
 //
 // Usage:
 //
-//	paperbench [-experiment all|table1|figure4|figure5|figure6|figure7|sweep|ablate-*]
-//	           [-list] [-scale quick|paper] [-net cm5|now|hwdsm|cluster:<g>x<c>]
+//	paperbench [-experiment all|table1|figure4|figure5|figure6|figure7|scale|sweep|ablate-*]
+//	           [-list] [-scale quick|paper] [-net <preset>] [-aggregate]
 //	           [-csv out.csv] [-json out.json]
 //	           [-engine serial|parallel] [-workers N] [-sched wheel|heap]
 //	           [-profile] [-predict]
@@ -19,6 +19,13 @@
 // -scale paper runs the Table 1 workload sizes on 32 simulated nodes
 // (minutes of wall clock); -scale quick (default) runs CI-sized versions
 // of the same experiments.
+//
+// -net accepts every topology preset (network.Grammars lists them),
+// including the hierarchical ones: cluster:<groups>x<cores>,
+// cluster:<groups>x<subgroups>x<cores>, mesh:<w>x<h> and
+// fattree:<levels>. -aggregate enables node-leader message aggregation
+// on every machine the experiments build — meaningful with a
+// hierarchical -net preset, a structural no-op on flat machines.
 //
 // -profile turns on the causal critical-path profiler for every machine
 // the experiments build. Figure rows then carry an exact time-attribution
@@ -88,7 +95,8 @@ func main() {
 	expID := flag.String("experiment", "all", "experiment ID or 'all'")
 	list := flag.Bool("list", false, "list experiment IDs with descriptions and exit")
 	scaleStr := flag.String("scale", "quick", "workload scale: quick or paper")
-	netName := flag.String("net", "", "override the default interconnect preset (cm5, now, hwdsm or cluster:<groups>x<cores>); experiments with per-row presets keep them")
+	netName := flag.String("net", "", "override the default interconnect preset ("+network.Grammars()+"); experiments with per-row presets keep them")
+	aggregate := flag.Bool("aggregate", false, "enable node-leader message aggregation (hierarchical -net presets)")
 	csvPath := flag.String("csv", "", "also write rows as CSV to this file")
 	jsonPath := flag.String("json", "BENCH_results.json", "write machine-readable results to this file (\"\" disables)")
 	engine := flag.String("engine", "serial", "kernel engine: serial or parallel")
@@ -126,12 +134,13 @@ func main() {
 	defer stopSig()
 
 	opts := harness.Options{
-		Scale:   harness.ParseScale(*scaleStr),
-		Engine:  rt.EngineKind(*engine),
-		Workers: *workers,
-		Sched:   rt.SchedKind(*sched),
-		Profile: *profile,
-		Predict: *predictFlag,
+		Scale:     harness.ParseScale(*scaleStr),
+		Engine:    rt.EngineKind(*engine),
+		Workers:   *workers,
+		Sched:     rt.SchedKind(*sched),
+		Profile:   *profile,
+		Predict:   *predictFlag,
+		Aggregate: *aggregate,
 	}
 	if *netName != "" {
 		p, err := network.Preset(*netName)
@@ -349,6 +358,11 @@ type kernelBenchDoc struct {
 	// evaluated on this run; a guard whose cases were filtered out is
 	// omitted rather than evaluated on stale numbers.
 	Ratios []ratioResult `json:"ratios,omitempty"`
+	// MsgRatios are the counter-ratio guards (kernelbench.MsgRatioGuards):
+	// full runtime runs whose message counters must differ by at least the
+	// guard's bound (the aggregation cross-group reduction). Omitted under
+	// -kernel-filter, like the other full-run sections.
+	MsgRatios []msgRatioResult `json:"msg_ratios,omitempty"`
 	// Speedups are the multi-core wall-clock guards
 	// (kernelbench.SpeedupGuards), recorded only under -kernel-speedup:
 	// a single-CPU host cannot show parallel speedup, so the guards are
@@ -369,6 +383,16 @@ type ratioResult struct {
 	Ratio float64 `json:"ratio"`
 	Max   float64 `json:"max"`
 	OK    bool    `json:"ok"`
+}
+
+type msgRatioResult struct {
+	Name   string  `json:"name"`
+	Num    string  `json:"num"`
+	Den    string  `json:"den"`
+	Ratio  float64 `json:"ratio"`
+	Min    float64 `json:"min"`
+	Detail string  `json:"detail,omitempty"`
+	OK     bool    `json:"ok"`
 }
 
 type speedupResult struct {
@@ -542,6 +566,31 @@ func (kb *kernelBenchRun) run() error {
 		}
 		if evaluated == 0 {
 			return fmt.Errorf("-kernel-speedup: the filter %q excludes every speedup-guarded case", kb.filter)
+		}
+	}
+
+	// Counter-ratio guards: full runtime runs, so they join the other
+	// full-run sections in being skipped under -kernel-filter.
+	if kb.filter == "" {
+		for _, g := range kernelbench.MsgRatioGuards() {
+			num, den, detail, err := g.Eval()
+			if err != nil {
+				gateFailures = append(gateFailures, fmt.Sprintf("%s: %v", g.Name, err))
+				fmt.Printf("msgratio %-19s FAIL: %v\n", g.Name, err)
+				continue
+			}
+			mr := msgRatioResult{Name: g.Name, Num: g.Num, Den: g.Den,
+				Ratio: num / den, Min: g.Min, Detail: detail}
+			mr.OK = mr.Ratio >= g.Min
+			doc.MsgRatios = append(doc.MsgRatios, mr)
+			status := "ok"
+			if !mr.OK {
+				status = "FAIL"
+				gateFailures = append(gateFailures,
+					fmt.Sprintf("%s: %s/%s = %.2fx below %.1fx (%s)", g.Name, g.Num, g.Den, mr.Ratio, g.Min, detail))
+			}
+			fmt.Printf("msgratio %-19s %s/%s = %.2fx (min %.1fx) %s [%s]\n",
+				g.Name, g.Num, g.Den, mr.Ratio, g.Min, status, detail)
 		}
 	}
 

@@ -23,6 +23,11 @@
 //
 //	protofuzz -seeds 100 -mutate stache-skip-deferral -expect-fail
 //
+// -aggregate runs every combination with node-leader message
+// aggregation enabled (a timing-visible no-op on seeds that derive flat
+// interconnects); aggregation-layer mutations such as agg-drop-entry
+// imply it. Shrunk reproducers of aggregated failures carry the flag.
+//
 // SIGINT interrupts a campaign gracefully: the seeds already run are
 // reported, failing-seed artifacts (-out) are flushed, and the process
 // exits 130.
@@ -55,6 +60,7 @@ func main() {
 		maxIters   = flag.Int("max-iters", 0, "cap derived iteration count")
 		maxBlocks  = flag.Int("max-blocks", 0, "cap derived shared element pool")
 		mutate     = flag.String("mutate", "", "inject a named protocol defect (e.g. stache-skip-deferral)")
+		aggFlag    = flag.Bool("aggregate", false, "enable node-leader message aggregation on every combination")
 		jitter     = flag.Int("jitter", 0, "interconnect jitter pct: 0 = derive per seed, >0 force, <0 off")
 		maxEvents  = flag.Int64("max-events", 0, "per-run simulation event budget (0 = default)")
 		maxFail    = flag.Int("max-failures", 1, "stop after this many failing seeds")
@@ -82,6 +88,7 @@ func main() {
 		Scale:       sc,
 		Caps:        chaos.Caps{Nodes: *maxNodes, Phases: *maxPhases, Iters: *maxIters, Blocks: *maxBlocks},
 		Mutation:    *mutate,
+		Aggregate:   *aggFlag,
 		JitterPct:   *jitter,
 		MaxEvents:   *maxEvents,
 		MaxFailures: *maxFail,

@@ -21,6 +21,11 @@ type Options struct {
 	// (rt.Mutation*). The campaign is then expected to fail — mutation
 	// testing of the oracle itself.
 	Mutation string
+	// Aggregate runs every combination with node-leader message
+	// aggregation enabled (rt.Config.Aggregate). A timing-visible no-op
+	// on seeds whose interconnect is flat; implied by the agg-drop-entry
+	// mutation.
+	Aggregate bool
 	// JitterPct overrides the derived interconnect jitter: 0 derives it
 	// from the seed (default), >0 forces that percentage, <0 forces
 	// jitter off.

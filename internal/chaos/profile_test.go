@@ -68,8 +68,8 @@ func TestPhaseMetricsParallelMatchesSerial(t *testing.T) {
 	for seed := int64(0); seed < 16; seed++ {
 		s := Derive(seed, ScaleQuick)
 		for _, proto := range []rt.ProtocolKind{rt.ProtoStache, rt.ProtoPredictive} {
-			_, ms := run(s, proto, rt.EngineSerial, "", profMaxEvents, "", "", false)
-			_, mp := run(s, proto, rt.EngineParallel, "", profMaxEvents, "", "", false)
+			_, ms := run(s, proto, rt.EngineSerial, "", profMaxEvents, "", "", false, false)
+			_, mp := run(s, proto, rt.EngineParallel, "", profMaxEvents, "", "", false, false)
 			if ms == nil || mp == nil {
 				t.Fatalf("seed %d %s: run failed", seed, proto)
 			}

@@ -85,6 +85,9 @@ func ReproCommand(seed int64, o Options, c Caps) string {
 	if o.Mutation != "" {
 		fmt.Fprintf(&b, " -mutate %s", o.Mutation)
 	}
+	if o.Aggregate {
+		fmt.Fprintf(&b, " -aggregate")
+	}
 	if o.JitterPct != 0 {
 		fmt.Fprintf(&b, " -jitter %d", o.JitterPct)
 	}

@@ -100,12 +100,18 @@ const (
 	// PhaseArena allocates from the shared arena, publishes the address
 	// through a pointer slot, and has neighbors chase the pointer.
 	PhaseArena
+	// PhaseBroadcast splits into two compiler phases: owners update
+	// their partition, then every node reads every partition. The read
+	// phase's schedule lists all nodes as readers of each home's blocks
+	// — several consumers per remote node group, the traffic shape
+	// node-leader aggregation coalesces into multi-part leader messages.
+	PhaseBroadcast
 
 	numPhaseKinds
 )
 
 var phaseKindNames = [numPhaseKinds]string{
-	"produce", "consume", "conflict", "migrate", "accumulate", "arena",
+	"produce", "consume", "conflict", "migrate", "accumulate", "arena", "broadcast",
 }
 
 func (k PhaseKind) String() string { return phaseKindNames[k] }
@@ -114,7 +120,8 @@ func (k PhaseKind) String() string { return phaseKindNames[k] }
 // traffic on shared blocks (the patterns that exercise invalidations,
 // recalls and the overtaking races).
 func (k PhaseKind) contended() bool {
-	return k == PhaseConflict || k == PhaseMigrate || k == PhaseAccumulate
+	return k == PhaseConflict || k == PhaseMigrate || k == PhaseAccumulate ||
+		k == PhaseBroadcast
 }
 
 // PhaseSpec describes one compiler-identified phase of the synthetic
@@ -169,11 +176,13 @@ func DeriveCapped(seed int64, scale Scale, c Caps) Spec {
 	// Hardware-assisted DSM weighted up: its sub-microsecond handler
 	// occupancies are the regime where protocol messages overtake the
 	// payload-carrying grants they chase (the deferral races). The
-	// "cluster" entry is a sentinel clamp() materializes into a concrete
-	// cluster:<groups>x2 shape once the final node count is known — the
-	// two-level topology exercises the parallel engine's pair-matrix
-	// lookahead and lane coarsening.
-	s.Net = []string{"cm5", "now", "hwdsm", "hwdsm", "cluster", "cluster"}[r.intn(6)]
+	// "cluster", "mesh" and "fattree" entries are sentinels clamp()
+	// materializes into concrete shapes once the final node count is
+	// known — the hierarchical topologies exercise the parallel engine's
+	// pair-matrix lookahead, lane coarsening, and the distance-dependent
+	// mesh transit.
+	s.Net = []string{"cm5", "now", "hwdsm", "hwdsm",
+		"cluster", "cluster", "mesh", "fattree"}[r.intn(8)]
 	s.BlockSize = []int{32, 64, 128, 256}[r.intn(4)]
 	s.Iters = r.between(2, maxIters)
 	s.JitterPct = []int{0, 5, 10, 25}[r.intn(4)]
@@ -249,10 +258,14 @@ func (s Spec) clamp(c Caps) Spec {
 	if s.FlushID >= len(s.Phases) {
 		s.FlushID = -1
 	}
-	// Materialize the cluster sentinel against the final node count:
-	// groups of two whenever the nodes tile, the flat hwdsm preset
-	// otherwise. Matching the "cluster:" prefix too keeps re-clamping an
-	// already-materialized spec (the shrinker tightening Nodes) coherent.
+	// Materialize topology sentinels against the final node count.
+	// Matching the materialized prefixes too keeps re-clamping an
+	// already-materialized spec (the shrinker tightening Nodes) coherent:
+	// cluster shapes become groups of two whenever the nodes tile (the
+	// flat hwdsm preset otherwise); a fat tree pins 4^levels nodes, so it
+	// only survives at exactly 16 and degrades to a mesh elsewhere; a
+	// mesh factors the node count into the squarest w x h grid, which
+	// exists for every count (1 x n in the worst case).
 	if s.Net == "cluster" || strings.HasPrefix(s.Net, "cluster:") {
 		if s.Nodes >= 4 && s.Nodes%2 == 0 {
 			s.Net = fmt.Sprintf("cluster:%dx2", s.Nodes/2)
@@ -260,7 +273,29 @@ func (s Spec) clamp(c Caps) Spec {
 			s.Net = "hwdsm"
 		}
 	}
+	if s.Net == "fattree" || strings.HasPrefix(s.Net, "fattree:") {
+		if s.Nodes == 16 {
+			s.Net = "fattree:2"
+		} else {
+			s.Net = "mesh"
+		}
+	}
+	if s.Net == "mesh" || strings.HasPrefix(s.Net, "mesh:") {
+		s.Net = meshShape(s.Nodes)
+	}
 	return s
+}
+
+// meshShape factors n into the squarest mesh:<w>x<h> preset with
+// w*h == n (w <= h; w may be 1).
+func meshShape(n int) string {
+	w := 1
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			w = d
+		}
+	}
+	return fmt.Sprintf("mesh:%dx%d", w, n/w)
 }
 
 // Size reports the spec's shrinkable dimensions as caps.

@@ -35,7 +35,7 @@ func stateHash(m *rt.Machine) uint64 {
 		n.Dir.ForEach(func(b memory.Block, e *tempest.DirEntry) {
 			mix(uint64(b))
 			mix(uint64(e.State))
-			mix(uint64(e.Sharers))
+			mixSet(mix, e.Sharers)
 			mix(uint64(int64(e.Owner)))
 			mix(uint64(e.PendingLen()))
 			e.ForEachPending(func(pr tempest.PendReq) {
@@ -62,11 +62,19 @@ func stateHash(m *rt.Machine) uint64 {
 				for _, e := range ph.Entries() {
 					mix(uint64(e.Block))
 					mix(uint64(e.Mode))
-					mix(uint64(e.Readers))
+					mixSet(mix, e.Readers)
 					mix(uint64(int64(e.Writer)))
 				}
 			})
 		}
 	}
 	return h
+}
+
+// mixSet folds a node set into the hash canonically — member count then
+// each member in ascending order — so the hash depends only on set
+// content, never on the set's internal word layout.
+func mixSet(mix func(uint64), s tempest.Bitset) {
+	mix(uint64(s.Count()))
+	s.ForEach(func(n int) { mix(uint64(n)) })
 }

@@ -85,19 +85,25 @@ func (f Fingerprint) diff(g Fingerprint) []string {
 // (rt.Mutation*; empty for honest runs); maxEvents guards against
 // livelock (a mutated protocol may spin).
 func Execute(s Spec, proto rt.ProtocolKind, engine rt.EngineKind, mutation string, maxEvents int64) Fingerprint {
-	return execute(s, proto, engine, mutation, maxEvents, "", "")
+	return execute(s, proto, engine, mutation, maxEvents, "", "", false)
+}
+
+// ExecuteAggregated is Execute with node-leader aggregation enabled
+// (rt.Config.Aggregate; a timing-visible no-op on flat interconnects).
+func ExecuteAggregated(s Spec, proto rt.ProtocolKind, engine rt.EngineKind, mutation string, maxEvents int64) Fingerprint {
+	return execute(s, proto, engine, mutation, maxEvents, "", "", true)
 }
 
 // ExecuteStorage is Execute with an explicit block-state storage backend
 // (the dense-vs-map differential; empty means the dense default).
 func ExecuteStorage(s Spec, proto rt.ProtocolKind, engine rt.EngineKind, mutation string, maxEvents int64, storage blockstate.Kind) Fingerprint {
-	return execute(s, proto, engine, mutation, maxEvents, storage, "")
+	return execute(s, proto, engine, mutation, maxEvents, storage, "", false)
 }
 
 // ExecuteSched is Execute with an explicit kernel event scheduler (the
 // wheel-vs-heap differential; empty means the wheel default).
 func ExecuteSched(s Spec, proto rt.ProtocolKind, engine rt.EngineKind, sched rt.SchedKind, maxEvents int64) Fingerprint {
-	return execute(s, proto, engine, "", maxEvents, "", sched)
+	return execute(s, proto, engine, "", maxEvents, "", sched, false)
 }
 
 // EngineConfig pins the parallel engine's execution knobs for a
@@ -133,6 +139,7 @@ type RunConfig struct {
 	NoSteal   bool
 	Workers   int
 	MaxEvents int64
+	Aggregate bool
 }
 
 // ExecuteRun runs the spec once under an explicit run configuration and
@@ -161,7 +168,7 @@ func ExecuteRun(s Spec, rc RunConfig) Fingerprint {
 // checked against the attribution invariant (per-node bucket sums equal
 // total simulated time; serial critical-path length equals elapsed).
 func ExecuteProfiled(s Spec, proto rt.ProtocolKind, engine rt.EngineKind, maxEvents int64) (Fingerprint, *causal.Profile, error) {
-	fp, m := run(s, proto, engine, "", maxEvents, "", "", true)
+	fp, m := run(s, proto, engine, "", maxEvents, "", "", true, false)
 	if m == nil {
 		return fp, nil, fmt.Errorf("chaos: profiled run failed: %s", fp.Err)
 	}
@@ -192,6 +199,7 @@ func ExecuteCalibration(s Spec, rc RunConfig) (*rt.Machine, error) {
 		NoSteal:   rc.NoSteal,
 		Workers:   rc.Workers,
 		MaxEvents: rc.MaxEvents,
+		Aggregate: rc.Aggregate,
 		Profile:   true,
 		Record:    true,
 	}
@@ -202,23 +210,24 @@ func ExecuteCalibration(s Spec, rc RunConfig) (*rt.Machine, error) {
 	return m, nil
 }
 
-func execute(s Spec, proto rt.ProtocolKind, engine rt.EngineKind, mutation string, maxEvents int64, storage blockstate.Kind, sched rt.SchedKind) Fingerprint {
-	fp, _ := run(s, proto, engine, mutation, maxEvents, storage, sched, false)
+func execute(s Spec, proto rt.ProtocolKind, engine rt.EngineKind, mutation string, maxEvents int64, storage blockstate.Kind, sched rt.SchedKind, agg bool) Fingerprint {
+	fp, _ := run(s, proto, engine, mutation, maxEvents, storage, sched, false, agg)
 	return fp
 }
 
 // run executes the spec and returns the machine alongside the
 // fingerprint (nil when the run itself errored).
-func run(s Spec, proto rt.ProtocolKind, engine rt.EngineKind, mutation string, maxEvents int64, storage blockstate.Kind, sched rt.SchedKind, profile bool) (Fingerprint, *rt.Machine) {
+func run(s Spec, proto rt.ProtocolKind, engine rt.EngineKind, mutation string, maxEvents int64, storage blockstate.Kind, sched rt.SchedKind, profile bool, agg bool) (Fingerprint, *rt.Machine) {
 	cfg := rt.Config{
 		Nodes:     s.Nodes,
 		BlockSize: s.BlockSize,
 		Protocol:  proto,
 		Engine:    engine,
 		MaxEvents: maxEvents, ChaosMutation: mutation,
-		Storage: storage,
-		Sched:   sched,
-		Profile: profile,
+		Storage:   storage,
+		Sched:     sched,
+		Profile:   profile,
+		Aggregate: agg,
 	}
 	return runConfigured(s, cfg)
 }
@@ -281,6 +290,13 @@ func runConfigured(s Spec, cfg rt.Config) (Fingerprint, *rt.Machine) {
 	return fp, m
 }
 
+// clustered reports whether the spec's interconnect has node groups —
+// the shapes node-leader aggregation coalesces across.
+func (s Spec) clustered() bool {
+	p, err := network.Preset(s.Net)
+	return err == nil && p.Clustered()
+}
+
 // workload holds the spec's shared aggregates on one machine.
 type workload struct {
 	main   *rt.Array1D // produce/consume partitions (padding per spec)
@@ -322,6 +338,16 @@ func (wl *workload) program(s Spec) rt.Program {
 		for it := 0; it < s.Iters; it++ {
 			for pi, ph := range s.Phases {
 				pi, ph, it := pi, ph, it
+				if ph.Kind == PhaseBroadcast {
+					// Two compiler phases: owners refresh their partition,
+					// then every node reads every partition. The read half
+					// takes a distinct stable id past the spec's phase
+					// range so its learned schedule (all nodes as readers
+					// of each home) stays separate from the write half's.
+					w.Phase(pi, func() { wl.bcastUpdate(w, s, ph, pi, it) })
+					w.Phase(len(s.Phases)+pi, func() { wl.bcastRead(w, s, ph, it) })
+					continue
+				}
 				w.Phase(pi, func() { wl.runPhase(w, s, ph, pi, it) })
 			}
 			if it == s.FlushIter {
@@ -342,6 +368,34 @@ func effStride(s Spec, ph PhaseSpec, it int) int {
 		st = 1 + (ph.Stride-1+it/s.RotEvery)%(s.Nodes-1)
 	}
 	return st
+}
+
+// bcastUpdate is the write half of PhaseBroadcast: each owner refreshes
+// the elements of its partition that the read half will fetch, so every
+// iteration invalidates the full reader set and the next read phase's
+// pre-send walk owes a fresh copy to every node — several per remote
+// group, which is what forces multi-part leader aggregates.
+func (wl *workload) bcastUpdate(w *rt.Worker, s Spec, ph PhaseSpec, pi, it int) {
+	per := s.Elems / s.Nodes
+	lo := w.ID * per
+	skew := rng{s: uint64(s.Seed) ^ uint64(it*31+pi*7+w.ID)}
+	w.Compute(sim.Time(100+skew.next()%900) * sim.Nanosecond)
+	for k := 0; k < ph.Count; k++ {
+		i := lo + (k+it)%per
+		w.WriteF64(wl.main.At(i, 0), val(s.Seed, it, pi, i))
+	}
+}
+
+// bcastRead is the read half: every node reads the freshly written
+// window of every partition (the all-read broadcast pattern).
+func (wl *workload) bcastRead(w *rt.Worker, s Spec, ph PhaseSpec, it int) {
+	per := s.Elems / s.Nodes
+	for o := 0; o < s.Nodes; o++ {
+		olo := o * per
+		for k := 0; k < ph.Count; k++ {
+			_ = w.ReadF64(wl.main.At(olo+(k+it)%per, 0))
+		}
+	}
 }
 
 func (wl *workload) runPhase(w *rt.Worker, s Spec, ph PhaseSpec, pi, it int) {

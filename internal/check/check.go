@@ -173,11 +173,37 @@ func auditEntry(m *rt.Machine, home *tempest.Node, b memory.Block, e *tempest.Di
 //     consumers (remote grants only; the pre-send walk never sends to
 //     itself).
 //
-// The identities are trivially zero for non-predictive protocols, so the
-// audit is safe to run on any machine.
+// With node-leader aggregation (rt.Config.Aggregate) a third exact
+// identity binds machine-wide: every bulk entry coalesced into a
+// leader-to-leader aggregate must be redistributed by a group leader
+// (AggEntriesOut == AggEntriesIn), and no node may hold buffered
+// entries at quiescence. A lost entry never corrupts memory, but it is
+// not always self-healing either: on the pre-send path the home
+// registers the consumer as a sharer before the data travels, so a
+// dropped entry makes the home treat the consumer's refetch as already
+// in flight and the run deadlocks. Whichever way a loss manifests —
+// wedged run or completed run with a counter gap — this conservation
+// check plus the run error is what catches an aggregate dropping data,
+// not the memory hash.
+//
+// The identities are trivially zero for non-predictive protocols (and
+// unaggregated machines), so the audit is safe to run on any machine.
 func Accounting(m *rt.Machine) []string {
 	var out []string
 	var sent, installed int64
+	var aggOut, aggIn int64
+	for _, n := range m.Nodes {
+		aggOut += n.Stats.AggEntriesOut
+		aggIn += n.Stats.AggEntriesIn
+		if pend := n.AggPending(); pend != 0 {
+			out = append(out, fmt.Sprintf(
+				"node %d: %d bulk entries still buffered in the aggregation layer at quiescence", n.ID, pend))
+		}
+	}
+	if aggOut != aggIn {
+		out = append(out, fmt.Sprintf(
+			"machine: aggregation conservation broken: %d entries coalesced, %d redistributed", aggOut, aggIn))
+	}
 	for _, n := range m.Nodes {
 		in := n.Met.PresendsIn.Value()
 		hits := n.Met.PresendHits.Value()

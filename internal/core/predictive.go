@@ -269,10 +269,12 @@ func (p *Predictive) runPresend(n *tempest.Node, phase int) {
 			return
 		}
 		// The message takes ownership of the pooled buffer; the receiver
-		// returns it after installing the entries.
+		// returns it after installing the entries. PostBulk diverts
+		// cross-group bulks into the node-leader aggregation buffer when
+		// rt.Config.Aggregate is on.
 		msg := tempest.MsgBulk{Entries: pb.entries, Presend: true}
 		pb.entries = nil
-		n.Post(n.ProtoProc, n.Peers[dst], msg)
+		n.PostBulk(n.ProtoProc, n.Peers[dst], msg)
 		n.Stats.BulkMsgs++
 	}
 
@@ -340,10 +342,12 @@ func (p *Predictive) runPresend(n *tempest.Node, phase int) {
 			p.base.HandleGet(n, e.Block, writer, true, true)
 		}
 	}
-	// Flush residual batches in destination order for determinism.
+	// Flush residual batches in destination order for determinism, then
+	// drain anything the aggregation layer buffered during the walk.
 	for dst := range n.Peers {
 		flush(dst)
 	}
+	n.FlushAgg(n.ProtoProc)
 	// Drop the walk sentinel.
 	ns.presendOutstanding--
 	if ns.presendOutstanding == 0 {

@@ -59,6 +59,11 @@ type Options struct {
 	// experiments that do not pick their own (the platform-comparison
 	// experiments keep their per-row presets).
 	Net *network.Params
+	// Aggregate enables node-leader message aggregation on every machine
+	// an experiment builds (a structural no-op on machines without node
+	// groups). Experiments that sweep aggregation themselves (the scaling
+	// curve) override it per row.
+	Aggregate bool
 	// Profile enables the causal profiler on every machine an experiment
 	// builds; figure rows then carry a validated attribution profile
 	// (rendered after the phase table and exported in the JSON results).
@@ -87,6 +92,9 @@ func (o Options) machine(c rt.Config) rt.Config {
 	c.NoSteal = o.NoSteal
 	c.Sched = o.Sched
 	c.Profile = o.Profile
+	if o.Aggregate {
+		c.Aggregate = true
+	}
 	if c.Net == nil && o.Net != nil {
 		c.Net = o.Net
 	}
@@ -144,6 +152,9 @@ type Result struct {
 	// predict-error experiment; when set it replaces Rows as the CSV
 	// payload (the table is the experiment's artifact).
 	Error *predict.ErrorTable
+	// Curve is the scaling experiment's payload; like Error it replaces
+	// Rows as the CSV payload when set.
+	Curve *ScalingCurve
 }
 
 // Best returns the fastest row matching the label prefix.
@@ -189,6 +200,17 @@ func (res *Result) Render(w io.Writer) {
 		res.Error.Render(w)
 		for _, n := range res.Notes {
 			fmt.Fprintf(w, "  - %s\n", n)
+		}
+		fmt.Fprintln(w)
+		return
+	}
+	if res.Curve != nil {
+		res.Curve.Render(w)
+		if len(res.Notes) > 0 {
+			fmt.Fprintln(w)
+			for _, n := range res.Notes {
+				fmt.Fprintf(w, "  - %s\n", n)
+			}
 		}
 		fmt.Fprintln(w)
 		return
@@ -313,6 +335,10 @@ func (res *Result) renderAttribution(w io.Writer) {
 func (res *Result) CSV(w io.Writer) {
 	if res.Error != nil {
 		res.Error.WriteCSV(w)
+		return
+	}
+	if res.Curve != nil {
+		res.Curve.WriteCSV(w)
 		return
 	}
 	fmt.Fprintln(w, "experiment,version,block_bytes,total_s,remote_wait_s,presend_s,compute_synch_s,read_faults,write_faults,msgs,presends,conflicts")

@@ -22,7 +22,7 @@ func runExp(t *testing.T, id string) *Result {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"ablate-coalesce", "ablate-conflicts", "ablate-flush",
 		"figure4", "figure5", "figure6", "figure7", "inspector", "platforms",
-		"predict-error", "sweep", "table1"}
+		"predict-error", "scale", "sweep", "table1"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))

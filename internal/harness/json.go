@@ -37,10 +37,13 @@ type resultJSON struct {
 	// Error is the predicted-vs-simulated comparison table (the
 	// predict-error experiment and paperbench -predict).
 	Error *predict.ErrorTable `json:"predict_error,omitempty"`
+	// Curve is the scaling experiment's (topology, nodes, aggregation)
+	// measurements.
+	Curve *ScalingCurve `json:"scaling_curve,omitempty"`
 }
 
 func (res *Result) toJSON() resultJSON {
-	out := resultJSON{ID: res.ID, Title: res.Title, Notes: res.Notes, Error: res.Error}
+	out := resultJSON{ID: res.ID, Title: res.Title, Notes: res.Notes, Error: res.Error, Curve: res.Curve}
 	for _, r := range res.Rows {
 		out.Rows = append(out.Rows, rowJSON{
 			Label:        r.Label,

@@ -46,7 +46,7 @@ func Cases() []Case {
 		{"mesh8_dense_parallel4", benchDenseMesh(4), false},
 		{"cluster8x2_dense_serial", benchClusterDense(0), false},
 		{"cluster8x2_dense_parallel4", benchClusterDense(4), false},
-	}, append(protocolCases(), predictCases()...)...)
+	}, append(protocolCases(), append(predictCases(), scaleCases()...)...)...)
 }
 
 // RatioGuard bounds the ratio of two cases' ns/op; paperbench

@@ -1,0 +1,27 @@
+package kernelbench
+
+import "testing"
+
+// BenchmarkScale exposes the kilonode cases to `go test -bench` in
+// their home package (run with -benchtime 1x for a functional smoke:
+// the bodies carry their own correctness assertions — aggregates
+// actually sent, buffers drained, kernels complete).
+func BenchmarkScale(b *testing.B) {
+	for _, c := range scaleCases() {
+		b.Run(c.Name, c.Bench)
+	}
+}
+
+// TestAggCrossGroupGuard pins the headline counter guard: ≥4x fewer
+// cross-group messages with aggregation on, byte-identical memory.
+func TestAggCrossGroupGuard(t *testing.T) {
+	g := MsgRatioGuards()[0]
+	num, den, detail, err := g.Eval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if num/den < g.Min {
+		t.Fatalf("%s: %.2fx below %.1fx (%s)", g.Name, num/den, g.Min, detail)
+	}
+	t.Logf("%s: %.2fx (%s)", g.Name, num/den, detail)
+}

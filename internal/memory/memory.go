@@ -115,8 +115,11 @@ func NewAddressSpace(nodes, blockSize int) *AddressSpace {
 	if blockSize < 16 || blockSize&(blockSize-1) != 0 {
 		panic(fmt.Sprintf("memory: block size %d must be a power of two >= 16", blockSize))
 	}
-	if nodes <= 0 || nodes > 64 {
-		panic(fmt.Sprintf("memory: node count %d out of range [1,64]", nodes))
+	// 4096 mirrors network.MaxNodes, the largest topology any preset
+	// builds (sharer sets scale past 64 nodes via tempest.Bitset's
+	// extension words).
+	if nodes <= 0 || nodes > 4096 {
+		panic(fmt.Sprintf("memory: node count %d out of range [1,4096]", nodes))
 	}
 	return &AddressSpace{
 		blockSize:  blockSize,

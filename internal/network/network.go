@@ -75,6 +75,20 @@ type Params struct {
 	IntraWireLatency sim.Time
 	// IntraPerByteWire is the intra-group fabric occupancy per byte.
 	IntraPerByteWire sim.Time
+
+	// Hier lists intermediate fabric levels between the intra-group
+	// fabric and the top-level network, innermost-first (see FabricLevel).
+	// Empty for flat machines and classic two-level clusters; the
+	// cluster:<a>x<b>x<c> and fattree:<levels> presets populate it.
+	Hier []FabricLevel
+
+	// MeshW/MeshH, when both positive, arrange a flat machine as a 2D
+	// mesh: node i sits at (i mod MeshW, i div MeshW) and transit grows
+	// by HopLatency per Manhattan hop beyond the first. Mutually
+	// exclusive with GroupSize >= 2.
+	MeshW, MeshH int
+	// HopLatency is the extra transit per mesh hop beyond the first.
+	HopLatency sim.Time
 }
 
 // Validate rejects configurations that would panic or hang downstream:
@@ -126,6 +140,9 @@ func (p *Params) Validate() error {
 		}
 	} else if p.Groups > 1 {
 		return fmt.Errorf("network: Groups = %d needs GroupSize >= 2 (got %d)", p.Groups, p.GroupSize)
+	}
+	if err := p.validateTopology(); err != nil {
+		return err
 	}
 	if p.MinLatency() <= 0 {
 		return fmt.Errorf("network: MinLatency() = %v, must be positive", p.MinLatency())
@@ -212,8 +229,8 @@ func Cluster(groups, cores int) (*Params, error) {
 	if groups < 1 || cores < 2 {
 		return nil, fmt.Errorf("network: cluster needs >= 1 groups of >= 2 cores (got %dx%d)", groups, cores)
 	}
-	if groups*cores > 4096 {
-		return nil, fmt.Errorf("network: cluster %dx%d exceeds 4096 nodes", groups, cores)
+	if groups*cores > MaxNodes {
+		return nil, fmt.Errorf("network: cluster %dx%d exceeds %d nodes", groups, cores, MaxNodes)
 	}
 	p := *CM5()
 	p.Groups = groups
@@ -225,8 +242,10 @@ func Cluster(groups, cores int) (*Params, error) {
 
 // Preset returns the named parameter preset — the shared vocabulary of
 // the -net command-line flags and the chaos derivation. Besides the fixed
-// presets it accepts the parameterized form cluster:<groups>x<cores>
-// (e.g. cluster:4x8 = 32 simulated nodes on 4 cluster nodes).
+// presets it accepts the parameterized topology forms (Grammars lists
+// them all): cluster:<groups>x<cores> (e.g. cluster:4x8 = 32 simulated
+// nodes on 4 cluster nodes), deeper cluster:<a>x<b>x<c> hierarchies,
+// mesh:<w>x<h> 2D meshes and fattree:<levels> 4-ary fat trees.
 func Preset(name string) (*Params, error) {
 	switch name {
 	case "cm5":
@@ -237,17 +256,30 @@ func Preset(name string) (*Params, error) {
 		return HardwareDSM(), nil
 	}
 	if shape, ok := strings.CutPrefix(name, "cluster:"); ok {
-		gs, cs, ok := strings.Cut(shape, "x")
-		if ok {
-			g, err1 := strconv.Atoi(gs)
-			c, err2 := strconv.Atoi(cs)
-			if err1 == nil && err2 == nil {
-				return Cluster(g, c)
-			}
+		dims, ok := parseDims(shape)
+		if !ok || len(dims) < 2 {
+			return nil, fmt.Errorf("network: malformed cluster preset %q (want cluster:<groups>x<cores> or cluster:<groups>x<subgroups>x<cores>)", name)
 		}
-		return nil, fmt.Errorf("network: malformed cluster preset %q (want cluster:<groups>x<cores>)", name)
+		if len(dims) == 2 {
+			return Cluster(dims[0], dims[1])
+		}
+		return ClusterLevels(dims)
 	}
-	return nil, fmt.Errorf("network: unknown preset %q (want cm5, now, hwdsm or cluster:<groups>x<cores>)", name)
+	if shape, ok := strings.CutPrefix(name, "mesh:"); ok {
+		dims, ok := parseDims(shape)
+		if !ok || len(dims) != 2 {
+			return nil, fmt.Errorf("network: malformed mesh preset %q (want mesh:<w>x<h>)", name)
+		}
+		return Mesh(dims[0], dims[1])
+	}
+	if lvl, ok := strings.CutPrefix(name, "fattree:"); ok {
+		l, err := strconv.Atoi(lvl)
+		if err != nil {
+			return nil, fmt.Errorf("network: malformed fattree preset %q (want fattree:<levels>)", name)
+		}
+		return FatTree(l)
+	}
+	return nil, fmt.Errorf("network: unknown preset %q (want %s)", name, Grammars())
 }
 
 // SendCost returns the sender CPU occupancy for a message with the given
@@ -285,12 +317,26 @@ func (p *Params) SameGroup(i, j int) bool {
 	return p.Clustered() && i/p.GroupSize == j/p.GroupSize
 }
 
-// TransitDelayPair returns the in-flight delay between a specific pair of
-// nodes: the intra-group fabric when they share a cluster node, the
-// top-level network otherwise. Identical to TransitDelay on flat machines.
+// TransitDelayPair returns the in-flight delay between a specific pair
+// of nodes: the innermost fabric containing both on a hierarchical
+// machine (intra-group, then each Hier level outward, then the
+// top-level network), or the Manhattan-distance-scaled transit on a
+// mesh. Identical to TransitDelay on flat machines.
 func (p *Params) TransitDelayPair(payload, src, dst int) sim.Time {
 	if p.SameGroup(src, dst) {
 		return p.intraTransit(payload)
+	}
+	for _, l := range p.Hier {
+		if src/l.Span == dst/l.Span {
+			return p.hierTransit(l, payload)
+		}
+	}
+	if p.Meshed() {
+		d := p.TransitDelay(payload)
+		if h := p.meshHops(src, dst); h > 1 {
+			d += sim.Time(h-1) * p.HopLatency
+		}
+		return d
 	}
 	return p.TransitDelay(payload)
 }
@@ -322,6 +368,11 @@ func (p *Params) MinLatency() sim.Time {
 	min := p.TransitDelay(0)
 	if p.Clustered() {
 		if d := p.intraTransit(0); d < min {
+			min = d
+		}
+	}
+	for _, l := range p.Hier {
+		if d := p.hierTransit(l, 0); d < min {
 			min = d
 		}
 	}

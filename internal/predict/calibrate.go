@@ -299,12 +299,21 @@ func (c *Calibration) buildShifts(m *rt.Machine) error {
 		clear(cmap)
 		chome = chome[:0]
 		for u, blk := range blocks {
+			// Block-padded regions re-pad per element at every block
+			// size — coarsening can never merge their accesses, so they
+			// group by element (and keep their calibration home). Other
+			// regions keep a block-size-independent layout: coarsening
+			// shifts their offsets.
 			ck := blk&^offMask40 | (blk&offMask40)>>sh
+			base := blk&^offMask40 | (blk&offMask40)>>sh<<sh
+			if st := m.PaddedStride(int(blk >> 40)); st > 0 {
+				ck = blk&^offMask40 | uint64(int64(blk&offMask40)/st)
+				base = blk
+			}
 			ci, ok := cmap[ck]
 			if !ok {
 				ci = uint32(len(chome))
 				cmap[ck] = ci
-				base := blk&^offMask40 | (blk&offMask40)>>sh<<sh
 				chome = append(chome, int32(m.AS.HomeOf(memory.Addr(base))))
 			}
 			coarse[u] = ci
@@ -521,6 +530,11 @@ func (c *Calibration) coarsenPresends(m *rt.Machine, phaseIdx map[int32]int32, s
 		for k := 0; k <= MaxShift; k++ {
 			sh := shift0 + uint(k)
 			key := func(b memory.Block) uint64 {
+				// Same element-vs-offset grouping as the fault replay:
+				// padded regions never coalesce across elements.
+				if st := m.PaddedStride(b.RegionID()); st > 0 {
+					return uint64(b.RegionID())<<40 | uint64(b.Offset()/st)
+				}
 				return uint64(b.RegionID())<<40 | uint64(b.Offset())>>sh
 			}
 			for i := 0; i < len(pres); {

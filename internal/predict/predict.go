@@ -331,6 +331,14 @@ func (c *Calibration) predict(k int, net *network.Params, n1 int, out []PhaseFor
 		PresendsSkipped: round(float64(c.ct0.PresendsSkipped) * psCntR),
 		BulkMsgs:        round(float64(c.ct0.BulkMsgs) * psCntR),
 		Conflicts:       round(float64(c.ct0.Conflicts) * actR),
+		// Topology-dependent traffic counters scale with overall message
+		// activity: the cross-group fraction and the aggregation rate are
+		// properties of the communication pattern and the interconnect
+		// shape, both of which calibration holds fixed.
+		CrossMsgs:     round(float64(c.ct0.CrossMsgs) * actR),
+		AggMsgs:       round(float64(c.ct0.AggMsgs) * actR),
+		AggEntriesOut: round(float64(c.ct0.AggEntriesOut) * actR),
+		AggEntriesIn:  round(float64(c.ct0.AggEntriesIn) * actR),
 	}
 	return p
 }

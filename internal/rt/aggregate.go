@@ -162,7 +162,23 @@ func (m *Machine) NewArray1D(name string, n, fields int, padToBlock bool) *Array
 		}
 		return a.Owner(int(elem))
 	})
+	if padToBlock {
+		if m.paddedStride == nil {
+			m.paddedStride = map[int]int64{}
+		}
+		m.paddedStride[a.R.ID] = a.stride
+	}
 	return a
+}
+
+// PaddedStride returns the element stride of a block-padded array
+// region, 0 for regions whose layout is block-size independent. A padded
+// array re-pads each element to its own block(s) at whatever block size
+// the machine is built with, so spatial coalescing across its element
+// boundaries can never happen — the predictor's replay groups such
+// regions by element instead of by coarsened offset.
+func (m *Machine) PaddedStride(regionID int) int64 {
+	return m.paddedStride[regionID]
 }
 
 // Owner returns the node owning element i.

@@ -99,6 +99,13 @@ type Config struct {
 	Net *network.Params
 	// NoCoalesce disables pre-send bulk coalescing (ablation).
 	NoCoalesce bool
+	// Aggregate enables node-leader message aggregation on clustered
+	// interconnects: cross-group bulk traffic (pre-send grants, update
+	// pushes, gather replies) destined for one remote group is coalesced
+	// into a single leader-to-leader message and redistributed over the
+	// cheap intra-group fabric (tempest/aggregate.go). Timing-visible
+	// but memory-invariant; a no-op on flat interconnects.
+	Aggregate bool
 	// AnticipateConflicts enables the conflict-anticipation extension.
 	AnticipateConflicts bool
 	// Trace, when positive, attaches a shared protocol-event ring of that
@@ -171,6 +178,17 @@ const (
 	// lane's initial window run tail-first, breaking the execution-order
 	// guarantee work stealing must preserve. Requires EngineParallel.
 	MutationStealReverseRun = "steal-reverse-run"
+	// MutationAggDropEntry makes node-leader aggregation drop one
+	// coalesced bulk entry per multi-part flush. Memory is never
+	// corrupted, but the loss is not silent: on the pre-send path the
+	// home has already registered the consumer as a sharer, so the
+	// consumer's refetch is treated as in flight and the run deadlocks;
+	// paths that do recover leave AggEntriesOut != AggEntriesIn for the
+	// conservation identity (check.Accounting). Either signal — a run
+	// error or the counter gap — is what the differential oracle keys
+	// on, not the memory hash. Requires Aggregate and a clustered
+	// interconnect.
+	MutationAggDropEntry = "agg-drop-entry"
 )
 
 func (c *Config) withDefaults() Config {
@@ -211,16 +229,19 @@ type Machine struct {
 	// register here under an "nNN/" prefix.
 	Reg *metrics.Registry
 
-	barrier    *sim.Barrier
-	redBufs    [2][]float64
-	combBufs   [][]float64
-	ends       []sim.Time
-	ran        bool
-	phaseNames map[int]string
-	prof       []*nodeProf
-	workers    int
-	lanes      int
-	lookahead  sim.Time // executed window width (parallel engine)
+	barrier *sim.Barrier
+	// paddedStride maps block-padded array regions to their element
+	// stride (see PaddedStride).
+	paddedStride map[int]int64
+	redBufs      [2][]float64
+	combBufs     [][]float64
+	ends         []sim.Time
+	ran          bool
+	phaseNames   map[int]string
+	prof         []*nodeProf
+	workers      int
+	lanes        int
+	lookahead    sim.Time // executed window width (parallel engine)
 }
 
 // New builds a machine for the given configuration.
@@ -279,6 +300,10 @@ func (m *Machine) Run(prog Program) error {
 		if c.Engine != EngineParallel {
 			return fmt.Errorf("rt: mutation %q targets the parallel engine, machine runs %q", c.ChaosMutation, c.Engine)
 		}
+	case MutationAggDropEntry:
+		if !c.Aggregate || !c.Net.Clustered() {
+			return fmt.Errorf("rt: mutation %q targets node-leader aggregation (needs Aggregate on a clustered interconnect)", c.ChaosMutation)
+		}
 	default:
 		return fmt.Errorf("rt: unknown chaos mutation %q", c.ChaosMutation)
 	}
@@ -287,18 +312,18 @@ func (m *Machine) Run(prog Program) error {
 	default:
 		return fmt.Errorf("rt: unknown lookahead kind %q (want pair or global)", c.Lookahead)
 	}
-	if c.Net.Clustered() {
-		if c.Nodes%c.Net.GroupSize != 0 {
-			return fmt.Errorf("rt: %d nodes do not tile into groups of %d", c.Nodes, c.Net.GroupSize)
-		}
-		if c.Net.Groups > 0 && c.Nodes != c.Net.Groups*c.Net.GroupSize {
-			return fmt.Errorf("rt: interconnect describes %d nodes (%dx%d), machine has %d",
-				c.Net.Groups*c.Net.GroupSize, c.Net.Groups, c.Net.GroupSize, c.Nodes)
-		}
+	if c.Net.Clustered() && c.Nodes%c.Net.GroupSize != 0 {
+		return fmt.Errorf("rt: %d nodes do not tile into groups of %d", c.Nodes, c.Net.GroupSize)
+	}
+	if want := c.Net.ExpectNodes(); want != 0 && c.Nodes != want {
+		return fmt.Errorf("rt: interconnect describes %d nodes, machine has %d", want, c.Nodes)
 	}
 	switch c.Sched {
 	case SchedWheel:
-		m.Kernel.UseScheduler(sim.SchedWheel, c.Net.MinLatency())
+		// Size the wheel to the machine: two processors per node can keep
+		// roughly that many events in flight, so a 1024-node burst stays
+		// on the O(1) bucket path instead of thrashing the overflow heap.
+		m.Kernel.UseSchedulerSized(sim.SchedWheel, c.Net.MinLatency(), 2*c.Nodes)
 	case SchedHeap:
 		m.Kernel.UseScheduler(sim.SchedHeap, 0)
 	default:
@@ -330,6 +355,9 @@ func (m *Machine) Run(prog Program) error {
 	for _, n := range m.Nodes {
 		n.Peers = m.Nodes
 		m.Proto.Init(n)
+		if c.Aggregate {
+			n.EnableAggregation(c.ChaosMutation == MutationAggDropEntry)
+		}
 	}
 	if c.Profile {
 		m.Kernel.EnableRecorder(c.ProfileCap)
@@ -503,6 +531,13 @@ type Counters struct {
 	MsgsSent, BytesSent           int64
 	PresendsSent, PresendsSkipped int64
 	BulkMsgs, Conflicts           int64
+	// CrossMsgs counts messages that left the sender's local fabric
+	// (another group on a clustered machine; any remote node on a flat
+	// one) — the traffic node-leader aggregation attacks.
+	CrossMsgs int64
+	// AggMsgs counts leader-to-leader aggregates; AggEntriesOut/In are
+	// the coalesced-entry conservation pair (equal at quiescence).
+	AggMsgs, AggEntriesOut, AggEntriesIn int64
 }
 
 // Counters sums the per-node counters.
@@ -517,6 +552,10 @@ func (m *Machine) Counters() Counters {
 		c.PresendsSkipped += n.Stats.PresendsSkipped
 		c.BulkMsgs += n.Stats.BulkMsgs
 		c.Conflicts += n.Stats.Conflicts
+		c.CrossMsgs += n.Stats.CrossMsgs
+		c.AggMsgs += n.Stats.AggMsgs
+		c.AggEntriesOut += n.Stats.AggEntriesOut
+		c.AggEntriesIn += n.Stats.AggEntriesIn
 	}
 	return c
 }

@@ -61,8 +61,11 @@ func (w *Worker) ReadU32(a memory.Addr) uint32 { return w.Node.ReadU32(w.P, a) }
 func (w *Worker) WriteU32(a memory.Addr, v uint32) { w.Node.WriteU32(w.P, a, v) }
 
 // Barrier joins the machine-wide barrier, accounting the wait as
-// synchronization time.
+// synchronization time. It first drains anything the compute processor
+// left in the node-leader aggregation buffers — the phase-boundary
+// safety net: no coalesced bulk ever survives into the next phase.
 func (w *Worker) Barrier() {
+	w.Node.FlushAgg(w.P)
 	w.P.SetWaitCat(sim.CatBarrier)
 	wait := w.P.Wait(w.M.barrier)
 	w.P.SetWaitCat(sim.CatIdle)
@@ -305,6 +308,9 @@ func (w *Worker) Signal(dst, tag int) {
 	w.P.Send(w.M.Nodes[dst].Compute, m, w.M.Cfg.Net.TransitDelayPair(m.PayloadBytes(), w.ID, dst))
 	w.Node.Stats.MsgsSent++
 	w.Node.Stats.BytesSent += int64(m.PayloadBytes() + w.M.Cfg.Net.HeaderBytes)
+	if !w.M.Cfg.Net.SameGroup(w.ID, dst) {
+		w.Node.Stats.CrossMsgs++
+	}
 }
 
 // AwaitSignal blocks until a signal arrives (possibly already stashed

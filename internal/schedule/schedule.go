@@ -146,7 +146,7 @@ func (p *Phase) RecordWrite(b memory.Block, writer int) (becameConflict bool) {
 // freeze captures the pre-conflict stable state.
 func (e *Entry) freeze() {
 	e.FirstMode = e.Mode
-	e.FirstReaders = e.Readers
+	e.FirstReaders = e.Readers.Clone() // snapshot must survive later records
 	e.FirstWriter = e.Writer
 }
 

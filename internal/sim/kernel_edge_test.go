@@ -218,7 +218,7 @@ func drainSched(t *testing.T, s scheduler) []*event {
 // array while staying inside the horizon: physical slot order disagrees
 // with time order, and the sweep must still pop in (at, seq) order.
 func TestWheelBucketWrap(t *testing.T) {
-	w := newWheel(Microsecond)
+	w := newWheel(Microsecond, 0)
 	// Advance the cursor off zero so later pushes wrap the slot mask.
 	w.push(wheelEvent(10*Microsecond, 0))
 	if e := w.pop(); e.at != 10*Microsecond {
@@ -246,7 +246,7 @@ func TestWheelBucketWrap(t *testing.T) {
 // overflow heap and checks they migrate into their bucket — interleaved
 // correctly with near events — once the cursor sweeps forward.
 func TestWheelOverflowMigration(t *testing.T) {
-	w := newWheel(Microsecond)
+	w := newWheel(Microsecond, 0)
 	far1 := wheelEvent(300*Microsecond, 0) // beyond 256us horizon from cursor 0
 	far2 := wheelEvent(300*Microsecond, 1) // same bucket, later seq
 	far3 := wheelEvent(1000*Microsecond, 2)
@@ -272,7 +272,7 @@ func TestWheelOverflowMigration(t *testing.T) {
 // timers remain, peek must jump the cursor straight to the earliest far
 // timer's bucket instead of sweeping hundreds of empty slots.
 func TestWheelCursorJump(t *testing.T) {
-	w := newWheel(Microsecond)
+	w := newWheel(Microsecond, 0)
 	w.push(wheelEvent(Microsecond, 0))
 	if e := w.pop(); e.seq != 0 {
 		t.Fatalf("unexpected first pop (%v, %d)", e.at, e.seq)
@@ -294,7 +294,7 @@ func TestWheelCursorJump(t *testing.T) {
 // bucket, near wheel, overflow — interleaved with individual pushes at
 // the same timestamp; pops must come out in strict (at, seq) order.
 func TestWheelPushBatch(t *testing.T) {
-	w := newWheel(Microsecond)
+	w := newWheel(Microsecond, 0)
 	// Current-bucket path: cursor sits in bucket 2 with a remainder.
 	w.push(wheelEvent(2*Microsecond, 0))
 	w.push(wheelEvent(2*Microsecond+500*Nanosecond, 5))
@@ -339,7 +339,7 @@ func TestWheelPopBefore(t *testing.T) {
 		name string
 		s    scheduler
 	}{
-		{"wheel", newWheel(Microsecond)},
+		{"wheel", newWheel(Microsecond, 0)},
 		{"heap", &heapSched{}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
@@ -376,7 +376,7 @@ func TestWheelPopBefore(t *testing.T) {
 // trace through the wheel and the heap reference and demands identical
 // pop sequences — the scheduler-swap property at the data-structure level.
 func TestWheelHeapDifferential(t *testing.T) {
-	wheel := newWheel(Microsecond)
+	wheel := newWheel(Microsecond, 0)
 	heap := &heapSched{}
 	rng := uint64(0x9e3779b97f4a7c15)
 	next := func(n uint64) uint64 {
@@ -420,5 +420,74 @@ func TestWheelHeapDifferential(t *testing.T) {
 	}
 	if wheel.len() != 0 {
 		t.Fatalf("wheel holds %d events after heap drained", wheel.len())
+	}
+}
+
+// TestWheelSizeDifferential drives an identical randomized push/pop trace
+// through wheels of every capacity class — default, mid-size hint, and a
+// hint beyond the cap — plus the reference heap. Bucket count moves events
+// between the near wheel and the overflow heap, but the pop order must be
+// bit-identical across all of them: capacity is a constant-factor knob,
+// never a semantic one.
+func TestWheelSizeDifferential(t *testing.T) {
+	scheds := []scheduler{
+		newWheel(Microsecond, 0),     // default 256 buckets
+		newWheel(Microsecond, 2048),  // the 1024-lane machine's hint
+		newWheel(Microsecond, 1<<20), // clamped to maxWheelBuckets
+		&heapSched{},
+	}
+	if got := newWheel(Microsecond, 1<<20).size; got != maxWheelBuckets {
+		t.Fatalf("oversized hint produced %d buckets, want cap %d", got, maxWheelBuckets)
+	}
+	if got := newWheel(Microsecond, 2048).size; got != 2048 {
+		t.Fatalf("hint 2048 produced %d buckets", got)
+	}
+	rng := uint64(0x2545f4914f6cdd1d)
+	next := func(n uint64) uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng % n
+	}
+	var now Time
+	seq := uint64(0)
+	for step := 0; step < 20000; step++ {
+		if scheds[0].len() == 0 || next(3) > 0 {
+			d := Time(next(300)) * Microsecond
+			if next(8) == 0 {
+				// Far timers: land beyond the small wheel's horizon but
+				// inside the big wheel's, so the overflow paths diverge.
+				d = Time(500+next(5000)) * Microsecond
+			}
+			at := now + d
+			for _, s := range scheds {
+				s.push(wheelEvent(at, seq))
+			}
+			seq++
+		} else {
+			ref := scheds[0].pop()
+			now = ref.at
+			for _, s := range scheds[1:] {
+				e := s.pop()
+				if e.at != ref.at || e.seq != ref.seq {
+					t.Fatalf("step %d: pop (%v, %d), want (%v, %d)",
+						step, e.at, e.seq, ref.at, ref.seq)
+				}
+			}
+		}
+	}
+	for scheds[0].len() > 0 {
+		ref := scheds[0].pop()
+		for _, s := range scheds[1:] {
+			e := s.pop()
+			if e.at != ref.at || e.seq != ref.seq {
+				t.Fatalf("drain: pop (%v, %d), want (%v, %d)", e.at, e.seq, ref.at, ref.seq)
+			}
+		}
+	}
+	for _, s := range scheds[1:] {
+		if s.len() != 0 {
+			t.Fatalf("scheduler holds %d events after reference drained", s.len())
+		}
 	}
 }

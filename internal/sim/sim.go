@@ -344,7 +344,7 @@ func (k *Kernel) Stats() KernelStats {
 // at DefaultWheelGranularity; UseScheduler selects the heap reference or a
 // different bucket width.
 func NewKernel() *Kernel {
-	return &Kernel{park: make(chan struct{}), sched: newWheel(DefaultWheelGranularity)}
+	return &Kernel{park: make(chan struct{}), sched: newWheel(DefaultWheelGranularity, 0)}
 }
 
 // Spawn registers a new Proc that will begin executing fn at virtual time 0

@@ -49,6 +49,17 @@ type scheduler interface {
 // bucket width (ignored by SchedHeap; <= 0 selects
 // DefaultWheelGranularity).
 func (k *Kernel) UseScheduler(kind SchedulerKind, granularity Time) {
+	k.UseSchedulerSized(kind, granularity, 0)
+}
+
+// UseSchedulerSized is UseScheduler with an explicit wheel capacity hint:
+// the near-wheel bucket count is the hint rounded up to a power of two
+// (minimum wheelBuckets; <= 0 keeps the default). A machine with many
+// processors in flight wants a wheel at least as wide as its concurrent
+// event population so pushes stay O(1) appends instead of spilling to the
+// overflow heap; bucket count never affects dispatch order, only the
+// constant factors.
+func (k *Kernel) UseSchedulerSized(kind SchedulerKind, granularity Time, buckets int) {
 	if k.started || k.seq != 0 || k.sched.len() != 0 {
 		panic("sim: UseScheduler after events were scheduled")
 	}
@@ -56,7 +67,7 @@ func (k *Kernel) UseScheduler(kind SchedulerKind, granularity Time) {
 	case SchedHeap:
 		k.sched = &heapSched{}
 	case SchedWheel:
-		k.sched = newWheel(granularity)
+		k.sched = newWheel(granularity, buckets)
 	default:
 		panic("sim: unknown scheduler kind " + string(kind))
 	}
@@ -86,12 +97,18 @@ func (s *heapSched) peek() *event {
 	return s.h.peek()
 }
 
-// wheelBuckets is the near-wheel size (a power of two). The horizon —
-// wheelBuckets × granularity of virtual time — bounds how far ahead an
-// event may land and still get an O(1) bucket append; anything farther
-// waits in the overflow heap and migrates into its bucket as the cursor
-// sweeps forward.
+// wheelBuckets is the default near-wheel size (a power of two). The
+// horizon — bucket count × granularity of virtual time — bounds how far
+// ahead an event may land and still get an O(1) bucket append; anything
+// farther waits in the overflow heap and migrates into its bucket as the
+// cursor sweeps forward. Large machines pass a bigger hint through
+// UseSchedulerSized (rt scales it with the node count) so a 1024-lane
+// burst doesn't thrash the overflow heap.
 const wheelBuckets = 256
+
+// maxWheelBuckets caps the hint: beyond this the wheel's resident
+// footprint (one slice header per bucket) outweighs the overflow savings.
+const maxWheelBuckets = 8192
 
 // wheelSched is a single-level timing wheel with an overflow heap.
 //
@@ -99,9 +116,9 @@ const wheelBuckets = 256
 //   - cur holds the remainder of bucket curIdx, sorted by (at, seq),
 //     draining from curPos;
 //   - buckets[i&mask] holds unsorted events whose bucket index i lies in
-//     (curIdx, curIdx+wheelBuckets); slots never alias because two live
-//     indices differ by less than wheelBuckets;
-//   - overflow holds events at bucket indices >= curIdx+wheelBuckets (at
+//     (curIdx, curIdx+size); slots never alias because two live
+//     indices differ by less than size;
+//   - overflow holds events at bucket indices >= curIdx+size (at
 //     the time they were pushed); loadBucket migrates due entries;
 //   - event times never precede the cursor: the kernel's dispatch time is
 //     nondecreasing and every post is at the poster's current time or
@@ -113,15 +130,28 @@ type wheelSched struct {
 	curPos  int
 	inWheel int // events in cur remainder + buckets (not overflow)
 
-	buckets  [wheelBuckets][]*event
+	size     int64 // bucket count (power of two)
+	mask     int64 // size - 1
+	buckets  [][]*event
 	overflow eventHeap
+
+	// spare recycles the largest drained bucket's storage for the next
+	// batch push. Without it a periodic burst (a 1024-proc barrier
+	// release) lands in a fresh empty bucket every time and re-grows it
+	// from nothing, while the previously grown storage sits parked in a
+	// slot the cursor only revisits a full wrap later.
+	spare []*event
 }
 
-func newWheel(g Time) *wheelSched {
+func newWheel(g Time, size int) *wheelSched {
 	if g <= 0 {
 		g = DefaultWheelGranularity
 	}
-	return &wheelSched{g: g}
+	n := int64(wheelBuckets)
+	for int64(size) > n && n < maxWheelBuckets {
+		n <<= 1
+	}
+	return &wheelSched{g: g, size: n, mask: n - 1, buckets: make([][]*event, n)}
 }
 
 func (w *wheelSched) len() int { return w.inWheel + len(w.overflow) }
@@ -131,8 +161,8 @@ func (w *wheelSched) push(e *event) {
 	switch {
 	case idx <= w.curIdx:
 		w.insertCur(e)
-	case idx < w.curIdx+wheelBuckets:
-		w.buckets[idx&(wheelBuckets-1)] = append(w.buckets[idx&(wheelBuckets-1)], e)
+	case idx < w.curIdx+w.size:
+		w.buckets[idx&w.mask] = append(w.buckets[idx&w.mask], e)
 		w.inWheel++
 	default:
 		w.overflow.push(e)
@@ -152,8 +182,11 @@ func (w *wheelSched) pushBatch(es []*event) {
 		for _, e := range es {
 			w.insertCur(e)
 		}
-	case idx < w.curIdx+wheelBuckets:
-		slot := idx & (wheelBuckets - 1)
+	case idx < w.curIdx+w.size:
+		slot := idx & w.mask
+		if b := w.buckets[slot]; len(b) == 0 && cap(b) < len(es) && len(es) <= cap(w.spare) {
+			w.buckets[slot], w.spare = w.spare[:0], b
+		}
 		w.buckets[slot] = append(w.buckets[slot], es...)
 		w.inWheel += len(es)
 	default:
@@ -257,9 +290,14 @@ func (w *wheelSched) popBefore(t Time) *event {
 // per event for the dominant cases — a same-timestamp burst arrives
 // already sorted because sequence numbers are assigned in push order.
 func (w *wheelSched) loadBucket() {
-	slot := w.curIdx & (wheelBuckets - 1)
+	slot := w.curIdx & w.mask
 	w.cur = w.cur[:0]
 	w.cur, w.buckets[slot] = w.buckets[slot], w.cur
+	// Keep the largest idle storage where the next batch push can find
+	// it; the slot just holds the smaller one (it is empty either way).
+	if cap(w.buckets[slot]) > cap(w.spare) {
+		w.spare, w.buckets[slot] = w.buckets[slot], w.spare
+	}
 	w.curPos = 0
 	for len(w.overflow) > 0 && int64(w.overflow.peek().at)/int64(w.g) <= w.curIdx {
 		w.cur = append(w.cur, w.overflow.pop())

@@ -6,34 +6,105 @@ import (
 	"strings"
 )
 
-// Bitset is a set of node IDs (the machine is capped at 64 nodes, like
-// the 32-processor CM-5 partition the paper measured).
-type Bitset uint64
+// Bitset is a set of node IDs. The first 64 IDs live in an inline word,
+// so on paper-scale machines (the 32-processor CM-5 partition) a set
+// never allocates; IDs 64 and up spill into lazily grown extension
+// words, scaling the directory to kilonode machines. The zero value is
+// the empty set.
+//
+// A Bitset assignment copies the inline word but aliases the extension
+// words — use Clone for an independent snapshot that will be mutated or
+// that must survive mutation of the original.
+type Bitset struct {
+	lo uint64   // IDs 0..63
+	hi []uint64 // word w holds IDs 64*(w+1) .. 64*(w+2)-1
+}
 
 // Add inserts node n.
-func (b *Bitset) Add(n int) { *b |= 1 << uint(n) }
+func (b *Bitset) Add(n int) {
+	if n < 64 {
+		b.lo |= 1 << uint(n)
+		return
+	}
+	w := n/64 - 1
+	for len(b.hi) <= w {
+		b.hi = append(b.hi, 0)
+	}
+	b.hi[w] |= 1 << uint(n%64)
+}
 
 // Remove deletes node n.
-func (b *Bitset) Remove(n int) { *b &^= 1 << uint(n) }
+func (b *Bitset) Remove(n int) {
+	if n < 64 {
+		b.lo &^= 1 << uint(n)
+		return
+	}
+	if w := n/64 - 1; w < len(b.hi) {
+		b.hi[w] &^= 1 << uint(n%64)
+	}
+}
 
 // Has reports membership of node n.
-func (b Bitset) Has(n int) bool { return b&(1<<uint(n)) != 0 }
+func (b Bitset) Has(n int) bool {
+	if n < 64 {
+		return b.lo&(1<<uint(n)) != 0
+	}
+	w := n/64 - 1
+	return w < len(b.hi) && b.hi[w]&(1<<uint(n%64)) != 0
+}
 
 // Empty reports whether the set has no members.
-func (b Bitset) Empty() bool { return b == 0 }
+func (b Bitset) Empty() bool {
+	if b.lo != 0 {
+		return false
+	}
+	for _, w := range b.hi {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
 
 // Count returns the number of members.
-func (b Bitset) Count() int { return bits.OnesCount64(uint64(b)) }
+func (b Bitset) Count() int {
+	n := bits.OnesCount64(b.lo)
+	for _, w := range b.hi {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
 
-// Clear removes all members.
-func (b *Bitset) Clear() { *b = 0 }
+// Clear removes all members. Extension storage is retained for reuse.
+func (b *Bitset) Clear() {
+	b.lo = 0
+	for i := range b.hi {
+		b.hi[i] = 0
+	}
+}
+
+// Clone returns an independent copy: mutating either set never affects
+// the other.
+func (b Bitset) Clone() Bitset {
+	out := Bitset{lo: b.lo}
+	if len(b.hi) > 0 {
+		out.hi = append([]uint64(nil), b.hi...)
+	}
+	return out
+}
 
 // ForEach calls fn for each member in ascending order.
 func (b Bitset) ForEach(fn func(n int)) {
-	v := uint64(b)
+	forWord(b.lo, 0, fn)
+	for w, v := range b.hi {
+		forWord(v, 64*(w+1), fn)
+	}
+}
+
+func forWord(v uint64, base int, fn func(n int)) {
 	for v != 0 {
 		n := bits.TrailingZeros64(v)
-		fn(n)
+		fn(base + n)
 		v &^= 1 << uint(n)
 	}
 }

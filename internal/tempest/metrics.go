@@ -21,6 +21,7 @@ const (
 	KindRecallRW
 	KindWriteBack
 	KindBulk
+	KindAgg
 	KindGetBulk
 	KindGatherDone
 	KindWake
@@ -35,7 +36,7 @@ const (
 
 var msgKindNames = [NumMsgKinds]string{
 	"GetRO", "GetRW", "DataRO", "DataRW", "Inval", "InvalAck",
-	"RecallRO", "RecallRW", "WriteBack", "Bulk", "GetBulk", "GatherDone",
+	"RecallRO", "RecallRW", "WriteBack", "Bulk", "Agg", "GetBulk", "GatherDone",
 	"Wake", "PresendGo", "PresendDone", "UseDone", "Signal", "Update",
 	"Other",
 }
@@ -65,6 +66,8 @@ func KindOf(m Msg) MsgKind {
 		return KindWriteBack
 	case MsgBulk:
 		return KindBulk
+	case MsgAgg:
+		return KindAgg
 	case MsgGetBulk:
 		return KindGetBulk
 	case MsgGatherDone:

@@ -74,6 +74,22 @@ type Stats struct {
 	PresendsSkipped int64 // schedule entries skipped (target already had a copy)
 	BulkMsgs        int64 // coalesced pre-send messages
 	Conflicts       int64 // schedule entries recorded as conflicts
+
+	// CrossMsgs counts messages that left the sender's local fabric: on
+	// a clustered machine, messages to another group; on a flat machine,
+	// every remote message. The scaling experiments' aggregation ratio
+	// guard rides on it.
+	CrossMsgs int64
+
+	// Node-leader aggregation conservation (see aggregate.go): AggMsgs
+	// counts MsgAgg sent, AggEntriesOut counts bulk entries coalesced
+	// into them, AggEntriesIn counts entries this node redistributed as
+	// a group leader. Machine-wide, ΣAggEntriesOut == ΣAggEntriesIn at
+	// quiescence, exactly (check.Accounting) — the identity that catches
+	// a dropped coalesced entry.
+	AggMsgs       int64
+	AggEntriesOut int64
+	AggEntriesIn  int64
 }
 
 // Total returns the node's total accounted virtual time.
@@ -149,6 +165,14 @@ type Node struct {
 	// presendFresh tracks pre-sent blocks installed but not yet consumed
 	// by a compute access (schedule hit/accuracy accounting).
 	presendFresh *blockstate.BitTable
+
+	// Node-leader aggregation state (see aggregate.go): aggBufs is
+	// indexed by destination group, aggDirty lists non-empty groups in
+	// first-enqueue order, aggDrop is the chaos drop-one-entry mutation.
+	aggOn    bool
+	aggDrop  bool
+	aggBufs  []aggBuf
+	aggDirty []int
 }
 
 // NewNode constructs a node over the given address space. The runtime
@@ -336,6 +360,9 @@ func (n *Node) Post(src *sim.Proc, dst *Node, m Msg) {
 	src.Send(dst.ProtoProc, send, n.Net.TransitDelayPairAt(payload, src.Now(), n.ID, dst.ID))
 	n.Stats.MsgsSent++
 	n.Stats.BytesSent += int64(payload + n.Net.HeaderBytes)
+	if !n.Net.SameGroup(n.ID, dst.ID) {
+		n.Stats.CrossMsgs++
+	}
 }
 
 // MsgString renders a protocol message compactly for traces.
@@ -361,6 +388,12 @@ func MsgString(m Msg) string {
 		return fmt.Sprintf("WriteBack(%#x from=%d dg=%v)", uint64(v.Block), v.From, v.Downgraded)
 	case MsgBulk:
 		return fmt.Sprintf("Bulk(%d blocks)", len(v.Entries))
+	case MsgAgg:
+		k := 0
+		for _, part := range v.Parts {
+			k += len(part.Bulk.Entries)
+		}
+		return fmt.Sprintf("Agg(%d parts, %d blocks)", len(v.Parts), k)
 	default:
 		return fmt.Sprintf("%T", m)
 	}
@@ -660,6 +693,18 @@ func (n *Node) ProtocolLoop(p *sim.Proc) {
 				p.OnCommit(func() { n.Trace.Record(ev) })
 			}
 		}
-		n.Proto.Handle(n, d)
+		if agg, ok := d.Msg.(MsgAgg); ok {
+			// Node-leader aggregate: redistribute the parts here; the
+			// protocol only ever sees ordinary MsgBulk.
+			n.redistributeAgg(p, agg)
+		} else {
+			n.Proto.Handle(n, d)
+		}
+		if n.aggOn && len(n.aggDirty) > 0 && p.Pending() == 0 {
+			// About to block in Recv with bulks still buffered (e.g.
+			// gather replies from a request burst): flush now, so no
+			// one ever waits on data parked in an idle node's buffer.
+			n.FlushAgg(p)
+		}
 	}
 }

@@ -147,7 +147,7 @@ func (u *Update) Push(n *tempest.Node, src *sim.Proc, blocks []memory.Block) {
 		}
 		msg := tempest.MsgBulk{Entries: pb.entries}
 		pb.entries = nil
-		n.Post(src, n.Peers[dst], msg)
+		n.PostBulk(src, n.Peers[dst], msg)
 		n.Stats.BulkMsgs++
 	}
 	for _, b := range blocks {
@@ -175,4 +175,7 @@ func (u *Update) Push(n *tempest.Node, src *sim.Proc, blocks []memory.Block) {
 	for dst := range bulks {
 		flush(dst)
 	}
+	// A push is one operation: drain the aggregation buffers before the
+	// application reaches its synchronizing barrier.
+	n.FlushAgg(src)
 }
